@@ -1,0 +1,85 @@
+#ifndef DTREC_BENCH_BENCH_COMMON_H_
+#define DTREC_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Every bench accepts "key=value" overrides on the command line (see
+// dtrec::ApplyOverride for the keys, plus "seeds=N" handled here) so the
+// full-scale paper settings are one flag away from the laptop defaults,
+// and writes its CSV next to the binary under bench_results/.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/config.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace dtrec::bench {
+
+struct BenchArgs {
+  DatasetProfile profile;  // benches overwrite with their dataset default
+  size_t seeds = 3;
+  bool have_profile_overrides = false;
+  std::vector<std::pair<std::string, std::string>> raw;
+};
+
+/// Parses key=value arguments; unknown keys abort with a usage message.
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      std::exit(2);
+    }
+    args.raw.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return args;
+}
+
+/// Applies parsed overrides onto `profile`; "seeds" is consumed here.
+inline void ApplyArgs(const BenchArgs& args, DatasetProfile* profile,
+                      size_t* seeds) {
+  for (const auto& [key, value] : args.raw) {
+    if (key == "seeds") {
+      *seeds = static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+      continue;
+    }
+    const Status st = ApplyOverride(key, value, profile);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad override %s=%s: %s\n", key.c_str(),
+                   value.c_str(), st.ToString().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+/// Prints the table and writes its CSV under bench_results/.
+inline void Emit(const TableWriter& table, const std::string& csv_name) {
+  table.RenderConsole(std::cout);
+  std::cout << "\n";
+  const std::string dir = "bench_results";
+  (void)std::system(("mkdir -p " + dir).c_str());
+  const std::string path = dir + "/" + csv_name;
+  const Status st = table.WriteCsvFile(path);
+  if (st.ok()) {
+    std::cout << "[csv written to " << path << "]\n";
+  } else {
+    std::cerr << "[csv write failed: " << st.ToString() << "]\n";
+  }
+}
+
+inline std::vector<uint64_t> MakeSeeds(size_t n) {
+  std::vector<uint64_t> seeds;
+  for (size_t i = 0; i < n; ++i) seeds.push_back(1000 + 17 * i);
+  return seeds;
+}
+
+}  // namespace dtrec::bench
+
+#endif  // DTREC_BENCH_BENCH_COMMON_H_

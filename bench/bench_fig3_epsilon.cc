@@ -1,0 +1,75 @@
+// Regenerates paper Figure 3: MSE and MAE of the IPS- and DR-family
+// estimators on the semi-synthetic pipeline as the noise hyper-parameter
+// ε of Eq. (11) varies. As ε grows, η compresses toward 1 and user-item
+// heterogeneity shrinks, so every method's error falls; DT-IPS/DT-DR stay
+// below the baselines throughout.
+
+#include <iostream>
+#include <map>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "experiments/evaluator.h"
+#include "synth/movielens_like.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  DatasetProfile profile;
+  profile.train.epochs = 10;
+  profile.train.batch_size = 2048;
+  profile.train.max_steps_per_epoch = 120;
+  profile.train.embedding_dim = 8;
+  size_t seeds_unused = 1;
+  bench::ApplyArgs(args, &profile, &seeds_unused);
+
+  const std::vector<double> epsilons = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<std::string> methods = {"MF",     "IPS",   "DR",
+                                            "DT-IPS", "DT-DR"};
+
+  std::map<std::string, std::map<std::string, std::vector<double>>> series;
+  for (double eps : epsilons) {
+    SemiSyntheticConfig world_config;
+    world_config.epsilon = eps;
+    world_config.rho = 1.0;
+    world_config.seed = 13;
+    const SemiSyntheticData world =
+        MovieLensLikeGenerator(world_config).Generate();
+    for (const std::string& name : methods) {
+      TrainConfig tc = TuneForMethod(name, profile.train);
+      tc.seed = 37;
+      auto trainer = std::move(MakeTrainer(name, tc).value());
+      DTREC_CHECK(trainer->Fit(world.dataset).ok());
+      const SemiSyntheticMetrics metrics =
+          EvaluateSemiSynthetic(*trainer, world);
+      series["MSE"][name].push_back(metrics.mse);
+      series["MAE"][name].push_back(metrics.mae);
+    }
+  }
+
+  for (const char* metric : {"MSE", "MAE"}) {
+    TableWriter table(
+        StrFormat("Figure 3 (%s vs epsilon): semi-synthetic ML-100K",
+                  metric));
+    std::vector<std::string> header{"Method"};
+    for (double eps : epsilons) header.push_back(StrFormat("eps=%.1f", eps));
+    table.SetHeader(header);
+    for (const std::string& name : methods) {
+      std::vector<std::string> row{name};
+      for (double v : series[metric][name]) row.push_back(FormatDouble(v, 4));
+      table.AddRow(row);
+    }
+    bench::Emit(table, StrFormat("fig3_epsilon_%s.csv", metric));
+  }
+
+  std::cout << "Expected shape (paper Fig. 3): every curve decreases with "
+               "epsilon; DT-IPS/DT-DR sit below IPS/DR at each point.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

@@ -1,0 +1,72 @@
+// Regenerates paper Figure 5: AUC and training time as the observed data
+// sparsity varies, on the Coat-shaped dataset. Sparsity is controlled by
+// shifting the generator's base selection logit; each level reports the
+// methods' unbiased-test AUC and wall-clock training time.
+
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "experiments/evaluator.h"
+#include "synth/coat_like.h"
+#include "util/stopwatch.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  DatasetProfile profile = DefaultProfile(DatasetKind::kCoat);
+  size_t seeds_unused = 1;
+  bench::ApplyArgs(args, &profile, &seeds_unused);
+
+  // Base-logit shifts spanning ~2.5%..20% observed density.
+  const std::vector<double> logit_shifts = {-1.5, -0.75, 0.0, 0.75, 1.5};
+  const std::vector<std::string> methods = {"MF", "DR-JL", "ESCM2-DR",
+                                            "DT-IPS", "DT-DR"};
+
+  TableWriter auc_table(
+      "Figure 5 (AUC vs sparsity): Coat-shaped dataset");
+  TableWriter time_table(
+      "Figure 5 (training seconds vs sparsity): Coat-shaped dataset");
+  std::vector<std::string> header{"Method"};
+  std::vector<double> densities;
+  std::vector<RatingDataset> datasets;
+  for (double shift : logit_shifts) {
+    MnarGeneratorConfig config = CoatLikeConfig(17);
+    config.base_logit += shift;
+    datasets.push_back(MnarGenerator(config).Generate().dataset);
+    densities.push_back(datasets.back().TrainDensity());
+    header.push_back(StrFormat("density=%.3f", densities.back()));
+  }
+  auc_table.SetHeader(header);
+  time_table.SetHeader(header);
+
+  for (const std::string& name : methods) {
+    std::vector<std::string> auc_row{name}, time_row{name};
+    for (const RatingDataset& dataset : datasets) {
+      TrainConfig tc = TuneForMethod(name, profile.train);
+      tc.seed = 83;
+      auto trainer = std::move(MakeTrainer(name, tc).value());
+      Stopwatch watch;
+      DTREC_CHECK(trainer->Fit(dataset).ok());
+      time_row.push_back(FormatDouble(watch.ElapsedSeconds(), 2));
+      auc_row.push_back(FormatDouble(
+          EvaluateRanking(*trainer, dataset, profile.ranking_k).auc, 3));
+    }
+    auc_table.AddRow(auc_row);
+    time_table.AddRow(time_row);
+  }
+
+  bench::Emit(auc_table, "fig5_sparsity_auc.csv");
+  bench::Emit(time_table, "fig5_sparsity_time.csv");
+  std::cout << "Expected shape (paper Fig. 5): AUC rises with density for "
+               "every method with DT on top; DT runtimes stay within ~2x "
+               "of the baselines at every sparsity level.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

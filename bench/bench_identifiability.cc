@@ -1,0 +1,95 @@
+// Regenerates the paper's identifiability analysis (Example 1, Lemma 3,
+// Theorem 1) numerically:
+//   1. Example 1: two distinct (propensity, outcome) models produce the
+//      same observed-data density at every rating value.
+//   2. Theorem 1: under the separable-logistic mechanism, fitting the
+//      observed-data likelihood WITH the auxiliary variable recovers the
+//      generating parameters, while WITHOUT it two starting points land
+//      on (near-)equal likelihood with very different rating effects.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/identifiability.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  size_t n = 40000;
+  for (const auto& [key, value] : args.raw) {
+    if (key == "n") n = std::strtoul(value.c_str(), nullptr, 10);
+  }
+
+  // ---- Example 1 ----------------------------------------------------
+  TableWriter example1("Example 1: two models, one observed density");
+  example1.SetHeader({"r", "P1(o=1|r)", "P2(o=1|r)", "P1(o=1,r|x)",
+                      "P2(o=1,r|x)"});
+  for (double r : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    example1.AddRow(
+        {FormatDouble(r, 1),
+         FormatDouble(Example1Propensity(Example1ModelA(), r), 5),
+         FormatDouble(Example1Propensity(Example1ModelB(), r), 5),
+         FormatDouble(Example1ObservedDensity(Example1ModelA(), r), 6),
+         FormatDouble(Example1ObservedDensity(Example1ModelB(), r), 6)});
+  }
+  bench::Emit(example1, "identifiability_example1.csv");
+  std::cout << "Columns 2-3 differ everywhere, columns 4-5 agree "
+               "everywhere: the MNAR propensity is NOT identified by the "
+               "observed data.\n\n";
+
+  // ---- Theorem 1 ----------------------------------------------------
+  SeparableLogisticParams truth;
+  truth.alpha0 = -1.0;
+  truth.alpha1 = 1.5;
+  truth.beta1 = 1.2;
+  truth.eta = 0.4;
+  Rng rng(17);
+  const auto samples = SimulateSeparableLogistic(truth, n, &rng);
+
+  SeparableLogisticParams init_a;  // optimistic start
+  init_a.alpha0 = -1.0;
+  init_a.alpha1 = 0.5;
+  init_a.beta1 = 2.0;
+  init_a.eta = 0.3;
+  SeparableLogisticParams init_b;  // adversarial start (flipped effect)
+  init_b.alpha0 = 0.0;
+  init_b.alpha1 = 0.5;
+  init_b.beta1 = -2.0;
+  init_b.eta = 0.7;
+
+  TableWriter fits(StrFormat(
+      "Theorem 1: observed-likelihood fits, n=%zu, truth: a0=-1.0 a1=1.5 "
+      "b1=1.2 eta=0.40",
+      n));
+  fits.SetHeader({"Model", "Init", "alpha0", "alpha1", "beta1", "eta",
+                  "NLL"});
+  for (bool use_aux : {true, false}) {
+    int init_index = 0;
+    for (const auto& init : {init_a, init_b}) {
+      const auto fit =
+          FitSeparableLogistic(samples, use_aux, init, 20000, 0.8);
+      DTREC_CHECK(fit.ok());
+      const auto& p = fit.value();
+      fits.AddRow({use_aux ? "with z (identified)" : "without z",
+                   init_index == 0 ? "A" : "B", FormatDouble(p.alpha0, 3),
+                   FormatDouble(p.alpha1, 3), FormatDouble(p.beta1, 3),
+                   FormatDouble(p.eta, 3),
+                   FormatDouble(ObservedDataNll(p, samples, use_aux), 5)});
+      ++init_index;
+    }
+  }
+  bench::Emit(fits, "identifiability_theorem1.csv");
+  std::cout << "Expected shape: the two 'with z' rows agree with each "
+               "other and with the truth; the two 'without z' rows have "
+               "(near-)equal NLL yet disagree on beta1/eta — Example 1's "
+               "ambiguity realized.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

@@ -1,0 +1,156 @@
+// google-benchmark microbenchmarks for the numeric kernels that dominate
+// dtrec training time, plus two design-choice ablations from DESIGN.md:
+//  - the Gram-identity regularization kernel vs the naive |U|×|I| product,
+//  - the autograd tape vs hand-derived analytic gradients for an IPS step.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "core/disentangled_embeddings.h"
+#include "core/losses.h"
+#include "tensor/ops.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = Matrix::RandomNormal(n, 8, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(n, 8, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, b));
+  }
+}
+BENCHMARK(BM_MatMulTransB)->Arg(256)->Arg(1024);
+
+void BM_SigmoidMat(benchmark::State& state) {
+  Rng rng(3);
+  const Matrix a = Matrix::RandomNormal(1024, 64, 2.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmoidMat(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_SigmoidMat);
+
+void BM_RegularizationNaive(benchmark::State& state) {
+  Rng rng(4);
+  DisentangledEmbeddings emb = DisentangledEmbeddings::Create(
+      943, 1682, 8, 4, 0.1, 0.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularizationLossNaive(emb));
+  }
+}
+BENCHMARK(BM_RegularizationNaive);
+
+void BM_RegularizationGram(benchmark::State& state) {
+  Rng rng(4);
+  DisentangledEmbeddings emb = DisentangledEmbeddings::Create(
+      943, 1682, 8, 4, 0.1, 0.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularizationLossGram(emb));
+  }
+}
+BENCHMARK(BM_RegularizationGram);
+
+/// One IPS training step via the autograd tape.
+void BM_IpsStepTape(benchmark::State& state) {
+  const size_t batch = 2048, m = 943, n = 1682, dim = 8;
+  Rng rng(5);
+  Matrix p = Matrix::RandomNormal(m, dim, 0.1, &rng);
+  Matrix q = Matrix::RandomNormal(n, dim, 0.1, &rng);
+  std::vector<size_t> users(batch), items(batch);
+  Matrix labels(batch, 1), weights(batch, 1);
+  for (size_t i = 0; i < batch; ++i) {
+    users[i] = rng.UniformIndex(m);
+    items[i] = rng.UniformIndex(n);
+    labels(i, 0) = rng.Bernoulli(0.5);
+    weights(i, 0) = rng.Bernoulli(0.1) ? 10.0 / batch : 0.0;
+  }
+  for (auto _ : state) {
+    ag::Tape tape;
+    ag::Var vp = tape.Leaf(p);
+    ag::Var vq = tape.Leaf(q);
+    ag::Var probs = ag::Sigmoid(ag::RowwiseDot(ag::GatherRows(vp, users),
+                                               ag::GatherRows(vq, items)));
+    ag::Var e = ag::Square(ag::Sub(tape.Constant(labels), probs));
+    ag::Var loss = ag::WeightedSumElems(e, weights);
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(tape.GradOf(vp));
+  }
+}
+BENCHMARK(BM_IpsStepTape);
+
+/// The same IPS step with hand-derived analytic gradients (no tape).
+void BM_IpsStepAnalytic(benchmark::State& state) {
+  const size_t batch = 2048, m = 943, n = 1682, dim = 8;
+  Rng rng(5);
+  Matrix p = Matrix::RandomNormal(m, dim, 0.1, &rng);
+  Matrix q = Matrix::RandomNormal(n, dim, 0.1, &rng);
+  std::vector<size_t> users(batch), items(batch);
+  Matrix labels(batch, 1), weights(batch, 1);
+  for (size_t i = 0; i < batch; ++i) {
+    users[i] = rng.UniformIndex(m);
+    items[i] = rng.UniformIndex(n);
+    labels(i, 0) = rng.Bernoulli(0.5);
+    weights(i, 0) = rng.Bernoulli(0.1) ? 10.0 / batch : 0.0;
+  }
+  Matrix grad_p(m, dim), grad_q(n, dim);
+  for (auto _ : state) {
+    grad_p.SetZero();
+    grad_q.SetZero();
+    for (size_t i = 0; i < batch; ++i) {
+      if (weights(i, 0) == 0.0) continue;
+      const double* pu = p.row(users[i]);
+      const double* qi = q.row(items[i]);
+      double score = 0.0;
+      for (size_t d = 0; d < dim; ++d) score += pu[d] * qi[d];
+      const double prob = Sigmoid(score);
+      const double dloss = weights(i, 0) * 2.0 * (prob - labels(i, 0)) *
+                           prob * (1.0 - prob);
+      double* gp = grad_p.row(users[i]);
+      double* gq = grad_q.row(items[i]);
+      for (size_t d = 0; d < dim; ++d) {
+        gp[d] += dloss * qi[d];
+        gq[d] += dloss * pu[d];
+      }
+    }
+    benchmark::DoNotOptimize(grad_p);
+  }
+}
+BENCHMARK(BM_IpsStepAnalytic);
+
+void BM_GatherScatter(benchmark::State& state) {
+  Rng rng(6);
+  const Matrix table = Matrix::RandomNormal(2000, 16, 1.0, &rng);
+  std::vector<size_t> rows(4096);
+  for (auto& r : rows) r = rng.UniformIndex(2000);
+  Matrix accum(2000, 16);
+  for (auto _ : state) {
+    const Matrix gathered = GatherRows(table, rows);
+    ScatterAddRows(&accum, rows, gathered);
+    benchmark::DoNotOptimize(accum);
+  }
+}
+BENCHMARK(BM_GatherScatter);
+
+}  // namespace
+}  // namespace dtrec
+
+BENCHMARK_MAIN();

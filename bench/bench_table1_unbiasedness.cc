@@ -1,0 +1,97 @@
+// Regenerates paper Table I: unbiasedness (✓/×) of the MCAR, MAR, and MNAR
+// propensities under each missing-data mechanism, demonstrated numerically
+// with oracle propensities on a fully-known world (Lemmas 1–2).
+//
+// For every (mechanism, propensity) pair we Monte-Carlo the IPS estimator
+// over observation realizations and report its bias against the ideal
+// loss; |bias| within a few Monte-Carlo standard errors prints ✓.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "experiments/oracle_bias.h"
+#include "synth/mnar_generator.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+struct WorldSlice {
+  Matrix errors;
+  Matrix mnar, mar, mcar;  // oracle propensities of the three families
+};
+
+WorldSlice BuildWorld(MissingMechanism mechanism, uint64_t seed) {
+  MnarGeneratorConfig config;
+  config.num_users = 120;
+  config.num_items = 120;
+  config.mechanism = mechanism;
+  config.base_logit = -1.2;
+  config.feature_coef = 1.0;
+  config.rating_coef = 1.1;
+  config.seed = seed;
+  const SimulatedData data = MnarGenerator(config).Generate();
+
+  WorldSlice world;
+  world.errors = Matrix(config.num_users, config.num_items);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    for (size_t i = 0; i < config.num_items; ++i) {
+      const double diff = data.oracle.label(u, i) - 0.4;
+      world.errors(u, i) = diff * diff;
+    }
+  }
+  world.mnar = data.oracle.mnar_propensity;
+  world.mar = data.oracle.mar_propensity;
+  world.mcar = Matrix(config.num_users, config.num_items,
+                      data.oracle.mcar_propensity);
+  return world;
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  size_t trials = 400;
+  for (const auto& [key, value] : args.raw) {
+    if (key == "trials") trials = std::strtoul(value.c_str(), nullptr, 10);
+  }
+
+  TableWriter table(
+      "Table I: unbiasedness of MCAR/MAR/MNAR propensities per mechanism "
+      "(IPS estimator, oracle propensities)");
+  table.SetHeader({"Propensity", "MCAR data", "MAR data", "MNAR data"});
+
+  const char* prop_names[] = {"MCAR propensity P(o=1)",
+                              "MAR propensity P(o=1|x)",
+                              "MNAR propensity P(o=1|x,r)"};
+  const MissingMechanism mechanisms[] = {MissingMechanism::kMcar,
+                                         MissingMechanism::kMar,
+                                         MissingMechanism::kMnar};
+
+  for (int prop = 0; prop < 3; ++prop) {
+    std::vector<std::string> row{prop_names[prop]};
+    for (int mech = 0; mech < 3; ++mech) {
+      const WorldSlice world = BuildWorld(mechanisms[mech], 11 + mech);
+      const Matrix& weighting =
+          prop == 0 ? world.mcar : (prop == 1 ? world.mar : world.mnar);
+      Rng rng(100 + 10 * prop + mech);
+      const BiasReport report =
+          MonteCarloBias(EstimatorKind::kIps, world.errors, world.errors,
+                         world.mnar, weighting, trials, &rng);
+      const bool unbiased =
+          std::fabs(report.bias) < 4.0 * report.std_error + 1e-4;
+      row.push_back(StrFormat("%s (bias=%+.4f)", unbiased ? "ok" : "BIASED",
+                              report.bias));
+    }
+    table.AddRow(row);
+  }
+
+  bench::Emit(table, "table1_unbiasedness.csv");
+  std::cout << "Expected pattern (paper Table I): row 1 ok only under "
+               "MCAR; row 2 ok under MCAR+MAR; row 3 ok everywhere.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

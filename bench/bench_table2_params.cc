@@ -1,0 +1,64 @@
+// Regenerates paper Table II: relative embedding / hidden-layer parameter
+// sizes and training-loss inventory of each method family, with ESMM as
+// the 1× reference — computed by instantiating the real trainers at a
+// fixed dataset shape and counting their parameters.
+
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "models/param_count.h"
+#include "synth/coat_like.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  (void)bench::ParseArgs(argc, argv);
+
+  TrainConfig config;
+  config.epochs = 1;  // a single throwaway epoch to materialize the models
+  config.max_steps_per_epoch = 1;
+  config.batch_size = 64;
+  config.embedding_dim = 8;
+  const SimulatedData world = MakeCoatLike(1);
+
+  // Methods in the paper's Table II, ESMM first as reference.
+  const std::vector<std::string> methods = {
+      "ESMM",      "IPS",      "Multi-IPS", "ESCM2-IPS", "DT-IPS",
+      "DR-JL",     "Multi-DR", "ESCM2-DR",  "DT-DR"};
+
+  ParamBudget reference;
+  TableWriter table(
+      "Table II: parameter sizes (relative to ESMM) and training losses");
+  table.SetHeader({"Method", "Embedding", "Hidden layer", "Propensity loss",
+                   "CTCVR loss", "Disentangle loss", "Total params"});
+
+  for (const std::string& name : methods) {
+    auto trainer = std::move(
+        MakeTrainer(name, TuneForMethod(name, config)).value());
+    const Status st = trainer->Fit(world.dataset);
+    DTREC_CHECK(st.ok()) << name << ": " << st.ToString();
+    const ParamBudget budget = trainer->Budget();
+    if (name == "ESMM") reference = budget;
+    const LossInventory losses = trainer->Losses();
+    table.AddRow({name,
+                  RelativeSize(budget.embedding_params,
+                               reference.embedding_params),
+                  RelativeSize(budget.hidden_params + budget.other_params,
+                               reference.hidden_params +
+                                   reference.other_params),
+                  losses.propensity_loss ? "yes" : "no",
+                  losses.ctcvr_loss ? "yes" : "no",
+                  losses.disentangle_loss ? "yes" : "no",
+                  StrFormat("%zu", budget.total())});
+  }
+
+  bench::Emit(table, "table2_params.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

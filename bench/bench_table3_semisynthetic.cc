@@ -1,0 +1,86 @@
+// Regenerates paper Table III: semi-synthetic ML-100K experiment with
+// varying ρ (the observed-sparsity / r→o-correlation knob of Step 2).
+// For each ρ, each method trains on one realization of the pipeline and
+// is scored by MSE/MAE against the true conversion probabilities η and by
+// NDCG@50 against realized conversions — the paper's three metric blocks.
+
+#include <iostream>
+#include <map>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "experiments/evaluator.h"
+#include "synth/movielens_like.h"
+#include "util/stopwatch.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  DatasetProfile profile;
+  profile.train.epochs = 10;
+  profile.train.batch_size = 2048;
+  profile.train.max_steps_per_epoch = 120;
+  profile.train.embedding_dim = 8;
+  size_t seeds_unused = 1;
+  bench::ApplyArgs(args, &profile, &seeds_unused);
+
+  const std::vector<double> rhos = {0.5, 0.75, 1.0, 1.25, 1.5};
+  const std::vector<std::string> methods = SemiSyntheticMethodNames();
+
+  // metric -> method -> per-rho values.
+  std::map<std::string, std::map<std::string, std::vector<double>>> cells;
+
+  Stopwatch total;
+  for (double rho : rhos) {
+    SemiSyntheticConfig world_config;
+    world_config.rho = rho;
+    world_config.epsilon = 0.3;
+    world_config.seed = 7;
+    const SemiSyntheticData world =
+        MovieLensLikeGenerator(world_config).Generate();
+    DTREC_LOG(INFO) << "rho=" << rho << " " << world.dataset.DebugString();
+
+    for (const std::string& name : methods) {
+      TrainConfig tc = TuneForMethod(name, profile.train);
+      tc.seed = 91;
+      auto trainer = std::move(MakeTrainer(name, tc).value());
+      const Status st = trainer->Fit(world.dataset);
+      DTREC_CHECK(st.ok()) << name << ": " << st.ToString();
+      const SemiSyntheticMetrics metrics =
+          EvaluateSemiSynthetic(*trainer, world);
+      cells["MSE"][name].push_back(metrics.mse);
+      cells["MAE"][name].push_back(metrics.mae);
+      cells["N@50"][name].push_back(metrics.ndcg_at_50);
+    }
+  }
+
+  for (const char* metric : {"MSE", "MAE", "N@50"}) {
+    TableWriter table(StrFormat(
+        "Table III (%s): semi-synthetic ML-100K with varying rho", metric));
+    std::vector<std::string> header{"Method"};
+    for (double rho : rhos) header.push_back(StrFormat("rho=%.2f", rho));
+    table.SetHeader(header);
+    for (const std::string& name : methods) {
+      std::vector<std::string> row{name};
+      for (double v : cells[metric][name]) {
+        row.push_back(FormatDouble(v, 4));
+      }
+      table.AddRow(row);
+    }
+    bench::Emit(table, StrFormat("table3_semisynthetic_%s.csv", metric));
+  }
+
+  std::cout << "Expected shape (paper Table III): DT-IPS/DT-DR lowest "
+               "MSE/MAE for rho >= 0.75, margin growing with rho; all "
+               "methods' N@50 close, DT slightly ahead.\n";
+  std::cout << "[total " << FormatDouble(total.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

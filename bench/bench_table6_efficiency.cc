@@ -1,0 +1,110 @@
+// Regenerates paper Table VI: parameter counts, wall-clock training time,
+// and per-sample inference latency of the multi-task family and the
+// proposed methods on each dataset. Also reports the regularization-loss
+// kernel ablation the paper's efficiency discussion motivates: evaluating
+// ‖P'Q'ᵀ‖_F² naively (materializing the |U|×|I| product, the paper's
+// costly formulation) vs via the Gram identity used by dtrec.
+
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "core/disentangled_embeddings.h"
+#include "core/losses.h"
+#include "experiments/evaluator.h"
+#include "synth/coat_like.h"
+#include "synth/kuairec_like.h"
+#include "synth/yahoo_like.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace dtrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+
+  const std::vector<std::string> methods = {
+      "ESMM",      "IPS",      "Multi-IPS", "ESCM2-IPS", "DT-IPS",
+      "DR-JL",     "Multi-DR", "ESCM2-DR",  "DT-DR"};
+
+  for (DatasetKind kind : {DatasetKind::kCoat, DatasetKind::kYahoo,
+                           DatasetKind::kKuaiRec}) {
+    DatasetProfile profile = DefaultProfile(kind);
+    size_t seeds_unused = 1;
+    bench::ApplyArgs(args, &profile, &seeds_unused);
+
+    RatingDataset dataset;
+    switch (kind) {
+      case DatasetKind::kCoat:
+        dataset = MakeCoatLike(601).dataset;
+        break;
+      case DatasetKind::kYahoo:
+        dataset = MakeYahooLike(601, profile.dataset_scale).dataset;
+        break;
+      case DatasetKind::kKuaiRec:
+        dataset = MakeKuaiRecLike(601, profile.dataset_scale).dataset;
+        break;
+    }
+
+    TableWriter table(StrFormat(
+        "Table VI (%s): parameters, training time, inference latency",
+        DatasetKindName(kind)));
+    table.SetHeader({"Method", "Parameters", "Training (s)",
+                     "Inference (ms/sample)"});
+    for (const std::string& name : methods) {
+      TrainConfig tc = TuneForMethod(name, profile.train);
+      tc.seed = 71;
+      auto trainer = std::move(MakeTrainer(name, tc).value());
+      Stopwatch watch;
+      DTREC_CHECK(trainer->Fit(dataset).ok());
+      const double train_s = watch.ElapsedSeconds();
+      const double infer_ms =
+          MeasureInferenceMillisPerSample(*trainer, dataset);
+      table.AddRow({name, StrFormat("%.2e",
+                                    static_cast<double>(
+                                        trainer->NumParameters())),
+                    FormatDouble(train_s, 2), FormatDouble(infer_ms, 5)});
+    }
+    bench::Emit(table, StrFormat("table6_efficiency_%s.csv",
+                                 DatasetKindName(kind)));
+  }
+
+  // Kernel ablation: the F-norm regularization computed naively vs via
+  // the Gram identity, at ML-100K scale (943×1682, K=8, A=4).
+  {
+    Rng rng(9);
+    DisentangledEmbeddings emb = DisentangledEmbeddings::Create(
+        943, 1682, 8, 4, 0.1, 0.0, &rng);
+    Stopwatch naive_watch;
+    double naive_value = 0.0;
+    for (int i = 0; i < 5; ++i) naive_value = RegularizationLossNaive(emb);
+    const double naive_ms = naive_watch.ElapsedMillis() / 5.0;
+    Stopwatch gram_watch;
+    double gram_value = 0.0;
+    for (int i = 0; i < 200; ++i) gram_value = RegularizationLossGram(emb);
+    const double gram_ms = gram_watch.ElapsedMillis() / 200.0;
+
+    TableWriter table(
+        "Table VI addendum: F-norm regularization kernel ablation "
+        "(943x1682, K=8)");
+    table.SetHeader({"Kernel", "Value", "ms/eval", "Speedup"});
+    table.AddRow({"naive |U|x|I| product", FormatDouble(naive_value, 4),
+                  FormatDouble(naive_ms, 3), "1.0x"});
+    table.AddRow({"Gram identity", FormatDouble(gram_value, 4),
+                  FormatDouble(gram_ms, 3),
+                  StrFormat("%.0fx", naive_ms / gram_ms)});
+    bench::Emit(table, "table6_kernel_ablation.csv");
+  }
+
+  std::cout << "Expected shape (paper Table VI): DT-IPS has the fewest "
+               "parameters of the IPS family; DT-DR fewer than DR-JL; DT "
+               "training time is within ~2x of the multi-task baselines "
+               "(here less, thanks to the Gram-identity kernel).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Run(argc, argv); }

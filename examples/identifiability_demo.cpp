@@ -1,0 +1,71 @@
+// Identifiability demo: the paper's Example 1 and Theorem 1, hands-on.
+//
+//   $ ./examples/identifiability_demo
+//
+// Part 1 prints the two Example-1 models side by side: different MNAR
+// propensities and outcome models, yet identical observed-data densities.
+// Part 2 fits the separable-logistic world of Theorem 1 from observed
+// data, with and without the auxiliary variable z.
+
+#include <cstdio>
+
+#include "core/identifiability.h"
+#include "util/random.h"
+
+int main() {
+  using namespace dtrec;
+
+  std::printf("== Part 1: Example 1 — unidentifiability ==\n");
+  std::printf("%6s %14s %14s %16s %16s\n", "r", "P1(o=1|r)", "P2(o=1|r)",
+              "P1(o=1,r|x)", "P2(o=1,r|x)");
+  for (double r = 0.0; r <= 5.0; r += 1.0) {
+    std::printf("%6.1f %14.6f %14.6f %16.8f %16.8f\n", r,
+                Example1Propensity(Example1ModelA(), r),
+                Example1Propensity(Example1ModelB(), r),
+                Example1ObservedDensity(Example1ModelA(), r),
+                Example1ObservedDensity(Example1ModelB(), r));
+  }
+  std::printf(
+      "-> the observed columns coincide although the models differ:\n"
+      "   maximizing observed likelihood cannot tell (a) from (b).\n\n");
+
+  std::printf("== Part 2: Theorem 1 — identification via z ==\n");
+  SeparableLogisticParams truth;
+  truth.alpha0 = -1.0;
+  truth.alpha1 = 1.5;
+  truth.beta1 = 1.2;
+  truth.eta = 0.4;
+  Rng rng(17);
+  const auto samples = SimulateSeparableLogistic(truth, 30000, &rng);
+  std::printf("truth: alpha0=%.2f alpha1=%.2f beta1=%.2f eta=%.2f\n",
+              truth.alpha0, truth.alpha1, truth.beta1, truth.eta);
+
+  SeparableLogisticParams init_a{-1.0, 0.5, 2.0, 0.3};
+  SeparableLogisticParams init_b{0.0, 0.5, -2.0, 0.7};
+  for (bool use_aux : {true, false}) {
+    std::printf("\n%s the auxiliary variable z:\n",
+                use_aux ? "WITH" : "WITHOUT");
+    char which = 'A';
+    for (const auto& init : {init_a, init_b}) {
+      const auto fit =
+          FitSeparableLogistic(samples, use_aux, init, 20000, 0.8);
+      if (!fit.ok()) {
+        std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+        return 1;
+      }
+      const auto& p = fit.value();
+      std::printf(
+          "  init %c -> alpha0=%+.3f alpha1=%+.3f beta1=%+.3f eta=%.3f "
+          "(NLL %.5f)\n",
+          which, p.alpha0, p.alpha1, p.beta1, p.eta,
+          ObservedDataNll(p, samples, use_aux));
+      ++which;
+    }
+  }
+  std::printf(
+      "\n-> with z both starts recover the truth; without z they reach\n"
+      "   (near-)equal likelihood at incompatible parameters. This is\n"
+      "   exactly why DT-IPS/DT-DR disentangle a z before learning the\n"
+      "   MNAR propensity.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Oracle-propensity study: why the MAR propensity is not enough.
+//
+// Builds a fully-known MNAR world, then trains THREE IPS recommenders
+// that differ only in the propensity used for reweighting:
+//   1. the learned MAR propensity σ(a_u + b_i + c)  (standard practice),
+//   2. the oracle MAR propensity P(o=1 | x)          (Lemma 2a: biased),
+//   3. the oracle MNAR propensity P(o=1 | x, r)      (Lemma 2b: unbiased).
+// The gap between 2 and 3 is the paper's headline phenomenon: knowing the
+// feature-conditional observation rate perfectly still leaves bias when
+// the rating itself drives observation.
+//
+//   $ ./examples/propensity_oracle_study
+
+#include <cstdio>
+
+#include "baselines/ips.h"
+#include "experiments/evaluator.h"
+#include "synth/mnar_generator.h"
+
+int main() {
+  dtrec::MnarGeneratorConfig world_config;
+  world_config.num_users = 200;
+  world_config.num_items = 240;
+  world_config.base_logit = -2.0;
+  world_config.rating_coef = 1.0;  // strong r -> o channel (very MNAR)
+  world_config.test_per_user = 14;
+  world_config.seed = 5;
+  const dtrec::SimulatedData world =
+      dtrec::MnarGenerator(world_config).Generate();
+  std::printf("world: %s\n\n", world.dataset.DebugString().c_str());
+
+  dtrec::TrainConfig config;
+  config.epochs = 20;
+  config.batch_size = 1024;
+  config.embedding_dim = 8;
+  config.seed = 11;
+
+  struct Variant {
+    const char* label;
+    bool use_oracle;
+    bool use_rating;  // oracle MNAR vs oracle MAR
+  };
+  const Variant variants[] = {
+      {"IPS + learned MAR propensity", false, false},
+      {"IPS + ORACLE MAR propensity", true, false},
+      {"IPS + ORACLE MNAR propensity", true, true},
+  };
+
+  for (const Variant& variant : variants) {
+    dtrec::IpsTrainer trainer(config);
+    if (variant.use_oracle) {
+      const dtrec::Matrix& mar = world.oracle.mar_propensity;
+      const dtrec::Matrix& mnar = world.oracle.mnar_propensity;
+      const bool use_rating = variant.use_rating;
+      trainer.set_propensity_fn(
+          [&mar, &mnar, use_rating](size_t u, size_t i, double) {
+            return use_rating ? mnar(u, i) : mar(u, i);
+          });
+    }
+    const dtrec::Status st = trainer.Fit(world.dataset);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const dtrec::RankingMetrics metrics =
+        dtrec::EvaluateRanking(trainer, world.dataset, 5);
+    std::printf("%-32s AUC=%.3f  NDCG@5=%.3f\n", variant.label, metrics.auc,
+                metrics.ndcg_at_k);
+  }
+
+  std::printf(
+      "\nThe oracle MNAR propensity is what DT-IPS/DT-DR *learn* without\n"
+      "oracle access, by disentangling an auxiliary embedding that makes\n"
+      "the MNAR propensity identifiable (paper Section IV).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: train the paper's proposed DT-DR debiased recommender on a
+// Coat-shaped MNAR dataset and compare it against naive MF on the
+// unbiased test slice.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full public API surface: dataset simulation, trainer
+// construction via the registry, fitting, prediction, and evaluation.
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "experiments/config.h"
+#include "experiments/evaluator.h"
+#include "synth/coat_like.h"
+
+int main() {
+  // 1. Simulate a Coat-shaped dataset: 290 users × 300 items, ~24 MNAR
+  //    training ratings per user (users pick what they rate — the rating
+  //    value itself drives observation), 16 MCAR test ratings per user.
+  const dtrec::SimulatedData world = dtrec::MakeCoatLike(/*seed=*/42);
+  std::printf("dataset: %s  (density %.1f%%)\n",
+              world.dataset.DebugString().c_str(),
+              100.0 * world.dataset.TrainDensity());
+
+  // 2. Configure training. TrainConfig carries the shared knobs; DT's
+  //    multi-task weights (alpha, beta, gamma) get method defaults via
+  //    TuneForMethod.
+  dtrec::TrainConfig config;
+  config.epochs = 20;
+  config.batch_size = 1024;
+  config.embedding_dim = 8;
+  config.seed = 7;
+
+  for (const char* method : {"MF", "DT-DR"}) {
+    auto trainer_or = dtrec::MakeTrainer(
+        method, dtrec::TuneForMethod(method, config));
+    if (!trainer_or.ok()) {
+      std::fprintf(stderr, "%s\n", trainer_or.status().ToString().c_str());
+      return 1;
+    }
+    auto trainer = std::move(trainer_or).value();
+
+    // 3. Fit on the biased training split only.
+    const dtrec::Status st = trainer->Fit(world.dataset);
+    if (!st.ok()) {
+      std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // 4. Evaluate on the unbiased slice.
+    const dtrec::RankingMetrics metrics =
+        dtrec::EvaluateRanking(*trainer, world.dataset, /*k=*/5);
+    std::printf("%-6s  AUC=%.3f  NDCG@5=%.3f  Recall@5=%.3f  (%zu params)\n",
+                method, metrics.auc, metrics.ndcg_at_k, metrics.recall_at_k,
+                trainer->NumParameters());
+
+    // 5. Point predictions are plain probabilities.
+    std::printf("        P(user 3 likes item 17) = %.3f\n",
+                trainer->Predict(3, 17));
+  }
+
+  std::printf(
+      "\nDT-DR should beat naive MF on every ranking metric: the naive\n"
+      "fit inherits the selection bias, the disentangled MNAR propensity\n"
+      "corrects it.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Walk-through of the paper's semi-synthetic ML-100K pipeline (Section V):
+// conversion probabilities η from standardized MF scores (Eq. 11), the
+// MNAR observation channel p = (2^η − 1)^ρ, Bernoulli realization, and a
+// post-click-conversion-style evaluation against the true η.
+//
+//   $ ./examples/semi_synthetic_pipeline [rho]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/registry.h"
+#include "experiments/config.h"
+#include "experiments/evaluator.h"
+#include "synth/movielens_like.h"
+
+int main(int argc, char** argv) {
+  const double rho = argc > 1 ? std::strtod(argv[1], nullptr) : 1.0;
+
+  dtrec::SemiSyntheticConfig world_config;
+  world_config.rho = rho;
+  world_config.epsilon = 0.3;
+  world_config.seed = 7;
+  dtrec::MovieLensLikeGenerator generator(world_config);
+  const dtrec::Status valid = generator.ValidateConfig();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "bad config: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Step 1-3: generating %zux%zu world with rho=%.2f...\n",
+              world_config.num_users, world_config.num_items, rho);
+  const dtrec::SemiSyntheticData world = generator.Generate();
+  std::printf("  eta range [%.3f, %.3f], observed rate %.3f, mean "
+              "conversion %.3f\n",
+              world.eta.Min(), world.eta.Max(), world.observation.Mean(),
+              world.conversion.Mean());
+  std::printf("  corr(o, r) is strong by construction: rho couples the\n"
+              "  observation probability to the conversion probability.\n\n");
+
+  dtrec::TrainConfig config;
+  config.epochs = 10;
+  config.batch_size = 2048;
+  config.max_steps_per_epoch = 120;
+  config.embedding_dim = 8;
+
+  std::printf("%-10s %8s %8s %8s\n", "method", "MSE", "MAE", "N@50");
+  for (const char* method : {"MF", "IPS", "DR", "DT-IPS", "DT-DR"}) {
+    auto trainer = std::move(
+        dtrec::MakeTrainer(method, dtrec::TuneForMethod(method, config))
+            .value());
+    const dtrec::Status st = trainer->Fit(world.dataset);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method, st.ToString().c_str());
+      return 1;
+    }
+    const dtrec::SemiSyntheticMetrics metrics =
+        dtrec::EvaluateSemiSynthetic(*trainer, world);
+    std::printf("%-10s %8.4f %8.4f %8.4f\n", method, metrics.mse,
+                metrics.mae, metrics.ndcg_at_50);
+  }
+
+  std::printf("\nTry rho=0.5 vs rho=1.5: the DT advantage grows with rho\n"
+              "because the rating exerts a stronger pull on observation\n"
+              "(paper Table III).\n");
+  return 0;
+}

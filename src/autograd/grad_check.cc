@@ -1,0 +1,45 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dtrec::ag {
+
+Matrix NumericalGradient(const std::function<double()>& loss_fn,
+                         Matrix* param, double eps) {
+  DTREC_CHECK(param != nullptr);
+  DTREC_CHECK_GT(eps, 0.0);
+  Matrix grad(param->rows(), param->cols());
+  for (size_t i = 0; i < param->size(); ++i) {
+    const double saved = param->at_flat(i);
+    param->at_flat(i) = saved + eps;
+    const double up = loss_fn();
+    param->at_flat(i) = saved - eps;
+    const double down = loss_fn();
+    param->at_flat(i) = saved;
+    grad.at_flat(i) = (up - down) / (2.0 * eps);
+  }
+  return grad;
+}
+
+double MaxAbsDifference(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.at_flat(i) - b.at_flat(i)));
+  }
+  return max_diff;
+}
+
+double RelativeGradError(const Matrix& analytic, const Matrix& numeric) {
+  double scale = 1.0;
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    scale = std::max(scale, std::fabs(numeric.at_flat(i)));
+  }
+  return MaxAbsDifference(analytic, numeric) / scale;
+}
+
+}  // namespace dtrec::ag

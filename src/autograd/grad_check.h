@@ -1,0 +1,30 @@
+#ifndef DTREC_AUTOGRAD_GRAD_CHECK_H_
+#define DTREC_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace dtrec::ag {
+
+/// Central finite-difference gradient of a scalar function with respect to
+/// `param`. `loss_fn` must recompute the loss from the *current* contents
+/// of `param` each time it is called (the checker perturbs entries in
+/// place and restores them).
+///
+/// This is the verification tool behind the autograd test-suite: every op
+/// and every composite training loss is validated against it.
+Matrix NumericalGradient(const std::function<double()>& loss_fn,
+                         Matrix* param, double eps = 1e-5);
+
+/// Largest absolute entry-wise difference between two gradients of equal
+/// shape (∞-norm of the error).
+double MaxAbsDifference(const Matrix& a, const Matrix& b);
+
+/// Relative gradient error max_i |a_i−b_i| / max(1, max_i |b_i|); robust
+/// when gradients are large.
+double RelativeGradError(const Matrix& analytic, const Matrix& numeric);
+
+}  // namespace dtrec::ag
+
+#endif  // DTREC_AUTOGRAD_GRAD_CHECK_H_

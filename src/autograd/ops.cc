@@ -1,0 +1,459 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dtrec::ag {
+namespace {
+
+Tape* CheckSameTape(Var a, Var b) {
+  DTREC_CHECK(a.valid() && b.valid());
+  DTREC_CHECK(a.tape() == b.tape()) << "operands on different tapes";
+  return a.tape();
+}
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+}
+
+}  // namespace
+
+Var Add(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  CheckSameShape(a.value(), b.value());
+  const size_t pa = a.id(), pb = b.id();
+  return tape->MakeNode(
+      dtrec::Add(a.value(), b.value()), {pa, pb},
+      [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        AddScaledInPlace(t->MutableGrad(pa), g, 1.0);
+        AddScaledInPlace(t->MutableGrad(pb), g, 1.0);
+      });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  CheckSameShape(a.value(), b.value());
+  const size_t pa = a.id(), pb = b.id();
+  return tape->MakeNode(
+      dtrec::Sub(a.value(), b.value()), {pa, pb},
+      [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        AddScaledInPlace(t->MutableGrad(pa), g, 1.0);
+        AddScaledInPlace(t->MutableGrad(pb), g, -1.0);
+      });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  CheckSameShape(a.value(), b.value());
+  const size_t pa = a.id(), pb = b.id();
+  return tape->MakeNode(
+      Hadamard(a.value(), b.value()), {pa, pb},
+      [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        Matrix* ga = t->MutableGrad(pa);
+        Matrix* gb = t->MutableGrad(pb);
+        const Matrix& va = t->ValueAt(pa);
+        const Matrix& vb = t->ValueAt(pb);
+        for (size_t i = 0; i < g.size(); ++i) {
+          ga->at_flat(i) += g.at_flat(i) * vb.at_flat(i);
+          gb->at_flat(i) += g.at_flat(i) * va.at_flat(i);
+        }
+      });
+}
+
+Var Div(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  CheckSameShape(a.value(), b.value());
+  const size_t pa = a.id(), pb = b.id();
+  return tape->MakeNode(
+      Divide(a.value(), b.value()), {pa, pb},
+      [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& out = t->ValueAt(self);  // a/b
+        Matrix* ga = t->MutableGrad(pa);
+        Matrix* gb = t->MutableGrad(pb);
+        const Matrix& vb = t->ValueAt(pb);
+        for (size_t i = 0; i < g.size(); ++i) {
+          const double inv_b = 1.0 / vb.at_flat(i);
+          ga->at_flat(i) += g.at_flat(i) * inv_b;
+          gb->at_flat(i) -= g.at_flat(i) * out.at_flat(i) * inv_b;
+        }
+      });
+}
+
+Var DivScalar(Var a, Var s) {
+  Tape* tape = CheckSameTape(a, s);
+  DTREC_CHECK_EQ(s.value().rows(), 1u);
+  DTREC_CHECK_EQ(s.value().cols(), 1u);
+  const size_t pa = a.id(), ps = s.id();
+  const double sv = s.value()(0, 0);
+  return tape->MakeNode(
+      dtrec::Scale(a.value(), 1.0 / sv), {pa, ps},
+      [pa, ps](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& out = t->ValueAt(self);  // a/s
+        const double sv = t->ValueAt(ps)(0, 0);
+        Matrix* ga = t->MutableGrad(pa);
+        Matrix* gs = t->MutableGrad(ps);
+        double gs_accum = 0.0;
+        for (size_t i = 0; i < g.size(); ++i) {
+          ga->at_flat(i) += g.at_flat(i) / sv;
+          gs_accum -= g.at_flat(i) * out.at_flat(i) / sv;
+        }
+        (*gs)(0, 0) += gs_accum;
+      });
+}
+
+Var MatMul(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  const size_t pa = a.id(), pb = b.id();
+  return tape->MakeNode(
+      dtrec::MatMul(a.value(), b.value()), {pa, pb},
+      [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        // dA = g·Bᵀ ; dB = Aᵀ·g
+        AddScaledInPlace(t->MutableGrad(pa), MatMulTransB(g, t->ValueAt(pb)),
+                         1.0);
+        AddScaledInPlace(t->MutableGrad(pb), MatMulTransA(t->ValueAt(pa), g),
+                         1.0);
+      });
+}
+
+Var Transpose(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(a.value().Transposed(), {pa},
+                        [pa](Tape* t, size_t self) {
+                          AddScaledInPlace(t->MutableGrad(pa),
+                                           t->MutableGrad(self)->Transposed(),
+                                           1.0);
+                        });
+}
+
+Var Scale(Var a, double alpha) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(dtrec::Scale(a.value(), alpha), {pa},
+                        [pa, alpha](Tape* t, size_t self) {
+                          AddScaledInPlace(t->MutableGrad(pa),
+                                           *t->MutableGrad(self), alpha);
+                        });
+}
+
+Var AddScalar(Var a, double alpha) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.size(); ++i) value.at_flat(i) += alpha;
+  return tape->MakeNode(std::move(value), {pa}, [pa](Tape* t, size_t self) {
+    AddScaledInPlace(t->MutableGrad(pa), *t->MutableGrad(self), 1.0);
+  });
+}
+
+Var Sigmoid(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(
+      SigmoidMat(a.value()), {pa}, [pa](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& s = t->ValueAt(self);
+        Matrix* ga = t->MutableGrad(pa);
+        for (size_t i = 0; i < g.size(); ++i) {
+          const double si = s.at_flat(i);
+          ga->at_flat(i) += g.at_flat(i) * si * (1.0 - si);
+        }
+      });
+}
+
+Var Exp(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(
+      Map(a.value(), [](double x) { return std::exp(x); }), {pa},
+      [pa](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& out = t->ValueAt(self);
+        Matrix* ga = t->MutableGrad(pa);
+        for (size_t i = 0; i < g.size(); ++i) {
+          ga->at_flat(i) += g.at_flat(i) * out.at_flat(i);
+        }
+      });
+}
+
+Var Log(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(
+      Map(a.value(), [](double x) { return std::log(x); }), {pa},
+      [pa](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& in = t->ValueAt(pa);
+        Matrix* ga = t->MutableGrad(pa);
+        for (size_t i = 0; i < g.size(); ++i) {
+          ga->at_flat(i) += g.at_flat(i) / in.at_flat(i);
+        }
+      });
+}
+
+Var Square(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(
+      Map(a.value(), [](double x) { return x * x; }), {pa},
+      [pa](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& in = t->ValueAt(pa);
+        Matrix* ga = t->MutableGrad(pa);
+        for (size_t i = 0; i < g.size(); ++i) {
+          ga->at_flat(i) += 2.0 * g.at_flat(i) * in.at_flat(i);
+        }
+      });
+}
+
+Var Sum(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  Matrix value(1, 1);
+  value(0, 0) = a.value().Sum();
+  return tape->MakeNode(std::move(value), {pa}, [pa](Tape* t, size_t self) {
+    const double g = (*t->MutableGrad(self))(0, 0);
+    Matrix* ga = t->MutableGrad(pa);
+    for (size_t i = 0; i < ga->size(); ++i) ga->at_flat(i) += g;
+  });
+}
+
+Var Mean(Var a) {
+  DTREC_CHECK(a.valid());
+  const double n = static_cast<double>(a.value().size());
+  DTREC_CHECK_GT(n, 0.0);
+  return Scale(Sum(a), 1.0 / n);
+}
+
+Var FrobeniusSq(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  Matrix value(1, 1);
+  value(0, 0) = a.value().FrobeniusNormSquared();
+  return tape->MakeNode(std::move(value), {pa}, [pa](Tape* t, size_t self) {
+    const double g = (*t->MutableGrad(self))(0, 0);
+    const Matrix& in = t->ValueAt(pa);
+    Matrix* ga = t->MutableGrad(pa);
+    for (size_t i = 0; i < ga->size(); ++i) {
+      ga->at_flat(i) += 2.0 * g * in.at_flat(i);
+    }
+  });
+}
+
+Var GatherRows(Var a, std::vector<size_t> rows) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  Matrix value = dtrec::GatherRows(a.value(), rows);
+  return tape->MakeNode(
+      std::move(value), {pa},
+      [pa, rows = std::move(rows)](Tape* t, size_t self) {
+        ScatterAddRows(t->MutableGrad(pa), rows, *t->MutableGrad(self));
+      });
+}
+
+Var HConcat(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  DTREC_CHECK_EQ(a.value().rows(), b.value().rows());
+  const size_t pa = a.id(), pb = b.id();
+  const size_t a_cols = a.value().cols();
+  return tape->MakeNode(
+      dtrec::HConcat(a.value(), b.value()), {pa, pb},
+      [pa, pb, a_cols](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        Matrix* ga = t->MutableGrad(pa);
+        Matrix* gb = t->MutableGrad(pb);
+        for (size_t r = 0; r < g.rows(); ++r) {
+          const double* grow = g.row(r);
+          double* garow = ga->row(r);
+          double* gbrow = gb->row(r);
+          for (size_t c = 0; c < a_cols; ++c) garow[c] += grow[c];
+          for (size_t c = a_cols; c < g.cols(); ++c) {
+            gbrow[c - a_cols] += grow[c];
+          }
+        }
+      });
+}
+
+Var RowwiseDot(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  CheckSameShape(a.value(), b.value());
+  const size_t pa = a.id(), pb = b.id();
+  const Matrix& va = a.value();
+  const Matrix& vb = b.value();
+  Matrix value(va.rows(), 1);
+  for (size_t r = 0; r < va.rows(); ++r) {
+    value(r, 0) = RowDot(va, r, vb, r);
+  }
+  return tape->MakeNode(
+      std::move(value), {pa, pb}, [pa, pb](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);  // B×1
+        const Matrix& va = t->ValueAt(pa);
+        const Matrix& vb = t->ValueAt(pb);
+        Matrix* ga = t->MutableGrad(pa);
+        Matrix* gb = t->MutableGrad(pb);
+        for (size_t r = 0; r < va.rows(); ++r) {
+          const double gr = g(r, 0);
+          const double* arow = va.row(r);
+          const double* brow = vb.row(r);
+          double* garow = ga->row(r);
+          double* gbrow = gb->row(r);
+          for (size_t c = 0; c < va.cols(); ++c) {
+            garow[c] += gr * brow[c];
+            gbrow[c] += gr * arow[c];
+          }
+        }
+      });
+}
+
+Var MulConst(Var a, const Matrix& m) {
+  DTREC_CHECK(a.valid());
+  CheckSameShape(a.value(), m);
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(Hadamard(a.value(), m), {pa},
+                        [pa, m](Tape* t, size_t self) {
+                          const Matrix& g = *t->MutableGrad(self);
+                          Matrix* ga = t->MutableGrad(pa);
+                          for (size_t i = 0; i < g.size(); ++i) {
+                            ga->at_flat(i) += g.at_flat(i) * m.at_flat(i);
+                          }
+                        });
+}
+
+Var WeightedSumElems(Var a, const Matrix& w) {
+  DTREC_CHECK(a.valid());
+  CheckSameShape(a.value(), w);
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  Matrix value(1, 1);
+  value(0, 0) = FlatDot(a.value(), w);
+  return tape->MakeNode(std::move(value), {pa},
+                        [pa, w](Tape* t, size_t self) {
+                          const double g = (*t->MutableGrad(self))(0, 0);
+                          Matrix* ga = t->MutableGrad(pa);
+                          for (size_t i = 0; i < ga->size(); ++i) {
+                            ga->at_flat(i) += g * w.at_flat(i);
+                          }
+                        });
+}
+
+Var Detach(Var a) {
+  DTREC_CHECK(a.valid());
+  return a.tape()->Constant(a.value());
+}
+
+Var AddRowBroadcast(Var a, Var row) {
+  Tape* tape = CheckSameTape(a, row);
+  DTREC_CHECK_EQ(row.value().rows(), 1u);
+  DTREC_CHECK_EQ(row.value().cols(), a.value().cols());
+  const size_t pa = a.id(), pr = row.id();
+  Matrix value = a.value();
+  for (size_t r = 0; r < value.rows(); ++r) {
+    double* vrow = value.row(r);
+    const double* bias = row.value().row(0);
+    for (size_t c = 0; c < value.cols(); ++c) vrow[c] += bias[c];
+  }
+  return tape->MakeNode(
+      std::move(value), {pa, pr}, [pa, pr](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        AddScaledInPlace(t->MutableGrad(pa), g, 1.0);
+        Matrix* gr = t->MutableGrad(pr);
+        for (size_t r = 0; r < g.rows(); ++r) {
+          const double* grow = g.row(r);
+          double* brow = gr->row(0);
+          for (size_t c = 0; c < g.cols(); ++c) brow[c] += grow[c];
+        }
+      });
+}
+
+Var Relu(Var a) {
+  DTREC_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const size_t pa = a.id();
+  return tape->MakeNode(
+      Map(a.value(), [](double x) { return x > 0.0 ? x : 0.0; }), {pa},
+      [pa](Tape* t, size_t self) {
+        const Matrix& g = *t->MutableGrad(self);
+        const Matrix& in = t->ValueAt(pa);
+        Matrix* ga = t->MutableGrad(pa);
+        for (size_t i = 0; i < g.size(); ++i) {
+          if (in.at_flat(i) > 0.0) ga->at_flat(i) += g.at_flat(i);
+        }
+      });
+}
+
+Var GramFrobeniusSq(Var a, Var b) {
+  Tape* tape = CheckSameTape(a, b);
+  DTREC_CHECK_EQ(a.value().cols(), b.value().cols());
+  const size_t pa = a.id(), pb = b.id();
+  const Matrix gram_a = MatMulTransA(a.value(), a.value());  // C×C
+  const Matrix gram_b = MatMulTransA(b.value(), b.value());  // C×C
+  double trace = 0.0;
+  for (size_t i = 0; i < gram_a.rows(); ++i) {
+    for (size_t j = 0; j < gram_a.cols(); ++j) {
+      trace += gram_a(i, j) * gram_b(j, i);
+    }
+  }
+  Matrix value(1, 1);
+  value(0, 0) = trace;
+  return tape->MakeNode(
+      std::move(value), {pa, pb},
+      [pa, pb, gram_a, gram_b](Tape* t, size_t self) {
+        const double g = (*t->MutableGrad(self))(0, 0);
+        AddScaledInPlace(t->MutableGrad(pa),
+                         dtrec::MatMul(t->ValueAt(pa), gram_b), 2.0 * g);
+        AddScaledInPlace(t->MutableGrad(pb),
+                         dtrec::MatMul(t->ValueAt(pb), gram_a), 2.0 * g);
+      });
+}
+
+Var SigmoidBceSum(Var logits, const Matrix& targets, const Matrix& weights) {
+  DTREC_CHECK(logits.valid());
+  CheckSameShape(logits.value(), targets);
+  CheckSameShape(logits.value(), weights);
+  Tape* tape = logits.tape();
+  const size_t pl = logits.id();
+  const Matrix& l = logits.value();
+  Matrix value(1, 1);
+  double total = 0.0;
+  for (size_t i = 0; i < l.size(); ++i) {
+    total += weights.at_flat(i) *
+             (dtrec::Log1pExp(l.at_flat(i)) -
+              targets.at_flat(i) * l.at_flat(i));
+  }
+  value(0, 0) = total;
+  return tape->MakeNode(
+      std::move(value), {pl}, [pl, targets, weights](Tape* t, size_t self) {
+        const double g = (*t->MutableGrad(self))(0, 0);
+        const Matrix& l = t->ValueAt(pl);
+        Matrix* gl = t->MutableGrad(pl);
+        for (size_t i = 0; i < l.size(); ++i) {
+          gl->at_flat(i) += g * weights.at_flat(i) *
+                            (dtrec::Sigmoid(l.at_flat(i)) -
+                             targets.at_flat(i));
+        }
+      });
+}
+
+}  // namespace dtrec::ag

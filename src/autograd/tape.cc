@@ -1,0 +1,84 @@
+#include "autograd/tape.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dtrec::ag {
+
+Var Tape::Leaf(Matrix value) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  nodes_.push_back(std::move(node));
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Constant(Matrix value) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.is_constant = true;
+  nodes_.push_back(std::move(node));
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::MakeNode(Matrix value, std::vector<size_t> parents,
+                   std::function<void(Tape*, size_t)> backward) {
+  for (size_t p : parents) DTREC_CHECK_LT(p, nodes_.size());
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.parents = std::move(parents);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, nodes_.size() - 1);
+}
+
+void Tape::Backward(Var loss) {
+  DTREC_CHECK(loss.valid() && loss.tape() == this);
+  DTREC_CHECK_EQ(ValueOf(loss).rows(), 1u);
+  DTREC_CHECK_EQ(ValueOf(loss).cols(), 1u);
+
+  // Mark nodes reachable from the loss so unrelated graph segments (e.g. a
+  // second head built on the same tape) do not run their backward fns.
+  std::vector<bool> reachable(nodes_.size(), false);
+  reachable[loss.id()] = true;
+  for (size_t i = loss.id() + 1; i-- > 0;) {
+    if (!reachable[i]) continue;
+    for (size_t p : nodes_[i].parents) reachable[p] = true;
+  }
+
+  nodes_[loss.id()].grad(0, 0) = 1.0;
+  for (size_t i = loss.id() + 1; i-- > 0;) {
+    Node& node = nodes_[i];
+    if (!reachable[i] || node.is_constant || !node.backward) continue;
+    node.backward(this, i);
+  }
+}
+
+const Matrix& Tape::ValueOf(Var v) const {
+  DTREC_CHECK(v.valid() && v.tape() == this);
+  DTREC_CHECK_LT(v.id(), nodes_.size());
+  return nodes_[v.id()].value;
+}
+
+const Matrix& Tape::GradOf(Var v) const {
+  DTREC_CHECK(v.valid() && v.tape() == this);
+  DTREC_CHECK_LT(v.id(), nodes_.size());
+  return nodes_[v.id()].grad;
+}
+
+Matrix* Tape::MutableGrad(size_t id) {
+  DTREC_CHECK_LT(id, nodes_.size());
+  return &nodes_[id].grad;
+}
+
+const Matrix& Tape::ValueAt(size_t id) const {
+  DTREC_CHECK_LT(id, nodes_.size());
+  return nodes_[id].value;
+}
+
+void Tape::Reset() { nodes_.clear(); }
+
+}  // namespace dtrec::ag

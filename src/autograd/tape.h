@@ -1,0 +1,102 @@
+#ifndef DTREC_AUTOGRAD_TAPE_H_
+#define DTREC_AUTOGRAD_TAPE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dtrec::ag {
+
+class Tape;
+
+/// Lightweight handle to a node on a Tape. Copyable; valid only while the
+/// owning Tape is alive and not Reset().
+class Var {
+ public:
+  Var() = default;
+
+  Tape* tape() const { return tape_; }
+  size_t id() const { return id_; }
+  bool valid() const { return tape_ != nullptr; }
+
+  /// Value / gradient of the underlying node (convenience forwarding).
+  const Matrix& value() const;
+  const Matrix& grad() const;
+
+ private:
+  friend class Tape;
+  Var(Tape* tape, size_t id) : tape_(tape), id_(id) {}
+
+  Tape* tape_ = nullptr;
+  size_t id_ = 0;
+};
+
+/// Records a dynamic computation graph and runs reverse-mode
+/// differentiation over it.
+///
+/// Usage per training step:
+///   Tape tape;
+///   Var p = tape.Leaf(params.p);            // copies the current value in
+///   Var loss = ...ops over p...;            // see autograd/ops.h
+///   tape.Backward(loss);                    // fills gradients
+///   optimizer.Step(&params.p, tape.GradOf(p));
+///
+/// Nodes are stored in creation order, which is a valid topological order
+/// for a tape (every op's inputs precede it), so Backward is a single
+/// reverse sweep. The Tape owns all values and gradients; Vars are indices.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Creates a leaf holding a copy of `value`. Leaves accumulate gradients
+  /// like any other node; the caller reads them back after Backward().
+  Var Leaf(Matrix value);
+
+  /// Creates a constant leaf: participates in forward values but receives
+  /// no gradient storage writes (its gradient stays zero and is never
+  /// propagated past).
+  Var Constant(Matrix value);
+
+  /// Internal: creates an op node. `backward` is invoked during the reverse
+  /// sweep with the node's accumulated output gradient available via
+  /// GradOf(); it must add into the parents' gradients via MutableGrad().
+  Var MakeNode(Matrix value, std::vector<size_t> parents,
+               std::function<void(Tape*, size_t)> backward);
+
+  /// Runs the reverse sweep from `loss`, which must be a 1×1 node. Seeds
+  /// d(loss)/d(loss) = 1. Gradients of all reachable nodes are accumulated;
+  /// call GradOf on the leaves you care about afterwards.
+  void Backward(Var loss);
+
+  const Matrix& ValueOf(Var v) const;
+  const Matrix& GradOf(Var v) const;
+
+  /// Mutable gradient buffer for node `id` (op implementations only).
+  Matrix* MutableGrad(size_t id);
+  const Matrix& ValueAt(size_t id) const;
+
+  /// Number of nodes currently on the tape.
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Drops all nodes; Vars become invalid.
+  void Reset();
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // same shape as value, lazily zero-initialized
+    std::vector<size_t> parents;
+    std::function<void(Tape*, size_t)> backward;  // null for leaves/constants
+    bool is_constant = false;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dtrec::ag
+
+#endif  // DTREC_AUTOGRAD_TAPE_H_

@@ -1,0 +1,16 @@
+#include "autograd/tape.h"
+#include "util/logging.h"
+
+namespace dtrec::ag {
+
+const Matrix& Var::value() const {
+  DTREC_CHECK(valid());
+  return tape_->ValueOf(*this);
+}
+
+const Matrix& Var::grad() const {
+  DTREC_CHECK(valid());
+  return tape_->GradOf(*this);
+}
+
+}  // namespace dtrec::ag

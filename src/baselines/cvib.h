@@ -1,0 +1,38 @@
+#ifndef DTREC_BASELINES_CVIB_H_
+#define DTREC_BASELINES_CVIB_H_
+
+#include <string>
+
+#include "baselines/trainer_base.h"
+
+namespace dtrec {
+
+/// CVIB (Wang et al., NeurIPS 2020): counterfactual variational
+/// information bottleneck. Propensity-free debiasing that balances the
+/// factual (observed) and counterfactual (unobserved) domains:
+///   L = L_obs + α·H(σ̄_obs‖σ̄_unobs) + λ₂·conf
+/// where σ̄_obs/σ̄_unobs are the average predictions over the observed and
+/// unobserved cells of the batch, H(·‖·) is the cross entropy pushing the
+/// counterfactual mean prediction toward the factual one (the contrastive
+/// information term, factual side stop-gradient), and `conf` is the output
+/// confidence penalty (negative entropy of predictions), discouraging
+/// overconfident extrapolation. α = TrainConfig::alpha,
+/// λ₂ = TrainConfig::lambda2.
+class CvibTrainer : public MfJointTrainerBase {
+ public:
+  explicit CvibTrainer(const TrainConfig& config)
+      : MfJointTrainerBase(config) {}
+
+  std::string name() const override { return "CVIB"; }
+
+ protected:
+  Status Setup(const RatingDataset& dataset) override {
+    (void)dataset;
+    return Status::OK();
+  }
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_CVIB_H_

@@ -1,0 +1,52 @@
+#ifndef DTREC_BASELINES_DIB_H_
+#define DTREC_BASELINES_DIB_H_
+
+#include <string>
+
+#include "baselines/trainer_base.h"
+
+namespace dtrec {
+
+/// DIB (Liu et al., RecSys 2021): debiased information bottleneck. The
+/// embedding is split into an unbiased component (dims A) and a biased
+/// component (dims K−A). Training fits the observed data with the *full*
+/// score (both components) while (i) also supervising the unbiased-only
+/// score and (ii) penalizing dependence between the two components
+/// (outer-product orthogonality, the compression term of the bottleneck).
+/// At test time only the unbiased component is used:
+///   L = L_obs(full) + α·L_obs(unbiased) + β·(‖P₁ᵀP₂‖_F² + ‖Q₁ᵀQ₂‖_F²)
+/// α = TrainConfig::alpha, β = TrainConfig::beta,
+/// A = TrainConfig::disentangle_dim (0 → K/2).
+class DibTrainer : public MfJointTrainerBase {
+ public:
+  explicit DibTrainer(const TrainConfig& config)
+      : MfJointTrainerBase(config) {}
+
+  std::string name() const override { return "DIB"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.disentangle_loss = true;
+    return inv;
+  }
+
+  /// Prediction uses the unbiased component only.
+  double Predict(size_t user, size_t item) const override;
+  size_t NumParameters() const override;
+
+ protected:
+  Status Setup(const RatingDataset& dataset) override;
+  void TrainStep(const Batch& batch) override;
+
+ private:
+  size_t unbiased_dim() const {
+    return config_.disentangle_dim > 0 ? config_.disentangle_dim
+                                       : config_.embedding_dim / 2;
+  }
+
+  // Unbiased (1) and biased (2) embedding blocks.
+  Matrix p1_, p2_, q1_, q2_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_DIB_H_

@@ -1,0 +1,4 @@
+#include "baselines/dr_bias_mse.h"
+
+// DrBiasTrainer / DrMseTrainer are header-defined atop DrTrainerBase; this
+// TU anchors the target.

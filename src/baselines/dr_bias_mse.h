@@ -1,0 +1,48 @@
+#ifndef DTREC_BASELINES_DR_BIAS_MSE_H_
+#define DTREC_BASELINES_DR_BIAS_MSE_H_
+
+#include <string>
+
+#include "baselines/dr.h"
+
+namespace dtrec {
+
+/// DR-BIAS (Dai et al., KDD 2022): imputation weighting o·(1−p̂)²/p̂³
+/// that directly targets the squared-bias term of the generalized DR
+/// learning framework.
+class DrBiasTrainer : public DrTrainerBase {
+ public:
+  explicit DrBiasTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "DR-BIAS"; }
+
+ protected:
+  double ImputationWeight(double o, double p) const override {
+    const double q = 1.0 - p;
+    return o * q * q / (p * p * p);
+  }
+};
+
+/// DR-MSE (Dai et al., KDD 2022): convex combination of the bias-targeting
+/// (DR-BIAS) and variance-targeting (MRDR) weights, trading the two off
+/// with λ = TrainConfig::lambda1.
+class DrMseTrainer : public DrTrainerBase {
+ public:
+  explicit DrMseTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "DR-MSE"; }
+
+ protected:
+  double ImputationWeight(double o, double p) const override {
+    const double q = 1.0 - p;
+    const double bias_w = o * q * q / (p * p * p);
+    const double var_w = o * q / (p * p);
+    return config_.lambda1 * bias_w + (1.0 - config_.lambda1) * var_w;
+  }
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_DR_BIAS_MSE_H_

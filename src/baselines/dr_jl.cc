@@ -1,0 +1,4 @@
+#include "baselines/dr_jl.h"
+
+// DrJlTrainer is fully defined by DrTrainerBase with joint learning and
+// the default o/p̂ imputation weighting; this TU anchors the target.

@@ -1,0 +1,23 @@
+#ifndef DTREC_BASELINES_DR_JL_H_
+#define DTREC_BASELINES_DR_JL_H_
+
+#include <string>
+
+#include "baselines/dr.h"
+
+namespace dtrec {
+
+/// DR joint learning (Wang et al., ICML 2019): the pseudo-label model and
+/// the prediction model update alternately each step; the imputation loss
+/// is the inverse-propensity-weighted squared residual o·(e−ê)²/p̂.
+class DrJlTrainer : public DrTrainerBase {
+ public:
+  explicit DrJlTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "DR-JL"; }
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_DR_JL_H_

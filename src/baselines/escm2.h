@@ -1,0 +1,52 @@
+#ifndef DTREC_BASELINES_ESCM2_H_
+#define DTREC_BASELINES_ESCM2_H_
+
+#include <string>
+
+#include "baselines/tower_base.h"
+
+namespace dtrec {
+
+/// ESCM²-IPS (Wang et al., SIGIR 2022): ESMM augmented with a
+/// counterfactual risk minimizer — the IPS-weighted CVR loss (propensity
+/// from the ctr tower, stop-gradient) — as a regularizer:
+///   L = L_ctr + λ₁·L_cvr^IPS + λ₂·L_ctcvr.
+class Escm2IpsTrainer : public TowerTrainerBase {
+ public:
+  explicit Escm2IpsTrainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/false) {}
+
+  std::string name() const override { return "ESCM2-IPS"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    inv.ctcvr_loss = true;
+    return inv;
+  }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+/// ESCM²-DR: the counterfactual regularizer is the DR loss, with an
+/// imputation tower trained on the weighted residual.
+class Escm2DrTrainer : public TowerTrainerBase {
+ public:
+  explicit Escm2DrTrainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/true) {}
+
+  std::string name() const override { return "ESCM2-DR"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    inv.ctcvr_loss = true;
+    return inv;
+  }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_ESCM2_H_

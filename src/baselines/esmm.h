@@ -1,0 +1,34 @@
+#ifndef DTREC_BASELINES_ESMM_H_
+#define DTREC_BASELINES_ESMM_H_
+
+#include <string>
+
+#include "baselines/tower_base.h"
+
+namespace dtrec {
+
+/// ESMM (Ma et al., SIGIR 2018): entire-space multi-task model. Trains the
+/// observation (ctr) tower on o over the whole matrix and the product
+/// σ(ctr)·σ(cvr) on the joint label o·r (ctcvr); the cvr tower — used for
+/// prediction — receives no direct supervision and is learned entirely
+/// through the entire-space decomposition.
+class EsmmTrainer : public TowerTrainerBase {
+ public:
+  explicit EsmmTrainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/false) {}
+
+  std::string name() const override { return "ESMM"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    inv.ctcvr_loss = true;
+    return inv;
+  }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_ESMM_H_

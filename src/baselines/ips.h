@@ -1,0 +1,52 @@
+#ifndef DTREC_BASELINES_IPS_H_
+#define DTREC_BASELINES_IPS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/trainer_base.h"
+#include "propensity/logistic_propensity.h"
+#include "propensity/mf_propensity.h"
+
+namespace dtrec {
+
+/// Inverse-propensity-scoring estimator (paper Eq. 3, Schnabel et al.
+/// 2016): reweights observed errors by 1/p̂. By default the propensity is
+/// the learned MAR propensity σ(a_u + b_i + c) — exactly the estimator the
+/// paper proves biased under MNAR (Lemma 2a). An override hook lets the
+/// oracle experiments inject the true MAR/MNAR propensities instead
+/// (Lemma 2b / Table I).
+class IpsTrainer : public MfJointTrainerBase {
+ public:
+  /// (user, item, observed rating) → propensity. The rating argument lets
+  /// oracle callers supply the MNAR propensity P(o=1 | x, r).
+  using PropensityFn = std::function<double(size_t, size_t, double)>;
+
+  explicit IpsTrainer(const TrainConfig& config)
+      : MfJointTrainerBase(config) {}
+
+  std::string name() const override { return "IPS"; }
+
+  /// Replaces the learned propensity with an external one (oracle tests).
+  void set_propensity_fn(PropensityFn fn) { propensity_fn_ = std::move(fn); }
+
+  /// Prediction MF plus the learned logistic propensity's (|U|+|I|+1)
+  /// parameters, so Tables II/VI account for the full method.
+  size_t NumParameters() const override;
+
+ protected:
+  Status Setup(const RatingDataset& dataset) override;
+  void TrainStep(const Batch& batch) override;
+
+  /// Propensity for batch index `i` (uses override when set).
+  double BatchPropensity(const Batch& batch, size_t i) const;
+
+  PropensityFn propensity_fn_;
+  std::unique_ptr<PropensityModel> learned_propensity_;
+  size_t learned_propensity_params_ = 0;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_IPS_H_

@@ -1,0 +1,60 @@
+#ifndef DTREC_BASELINES_IPS_V2_H_
+#define DTREC_BASELINES_IPS_V2_H_
+
+#include <string>
+
+#include "baselines/tower_base.h"
+
+namespace dtrec {
+
+/// IPS-V2 (Li et al., ICML 2023 "Propensity Matters"): learns *balancing*
+/// propensities. In addition to the observation cross entropy, the
+/// propensity tower minimizes the covariate-balancing discrepancy
+///   ‖ (1/B)Σ o_i/p̂_i·φ_i − (1/B)Σ φ_i ‖²
+/// over the (stop-gradient) cell features φ, which directly controls the
+/// IPS estimator's variance-inflating imbalance. The prediction tower
+/// trains on the IPS loss with the balanced propensities.
+class IpsV2Trainer : public TowerTrainerBase {
+ public:
+  explicit IpsV2Trainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/false) {}
+
+  std::string name() const override { return "IPS-V2"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    return inv;
+  }
+
+ protected:
+  /// For the DR variant, which adds an imputation tower.
+  IpsV2Trainer(const TrainConfig& config, bool has_imputation)
+      : TowerTrainerBase(config, has_imputation) {}
+
+  void TrainStep(const Batch& batch) override;
+
+  /// Differentiable soft clip p ↦ c + (1−c)·p keeping propensities in
+  /// [c, 1] while preserving gradients (c = config.propensity_clip).
+  ag::Var SoftClip(ag::Var prob) const;
+
+  /// The balancing discrepancy described above (1×1 Var).
+  ag::Var BalanceTerm(ag::Tape* tape, const Batch& batch, ag::Var prob,
+                      ag::Var features) const;
+};
+
+/// DR-V2: IPS-V2's balanced propensities inside the DR estimator, with an
+/// imputation tower trained on the weighted residual.
+class DrV2Trainer : public IpsV2Trainer {
+ public:
+  explicit DrV2Trainer(const TrainConfig& config)
+      : IpsV2Trainer(config, /*has_imputation=*/true) {}
+
+  std::string name() const override { return "DR-V2"; }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_IPS_V2_H_

@@ -1,0 +1,28 @@
+#ifndef DTREC_BASELINES_MF_NAIVE_H_
+#define DTREC_BASELINES_MF_NAIVE_H_
+
+#include <string>
+
+#include "baselines/trainer_base.h"
+
+namespace dtrec {
+
+/// The naive estimator E_Naive (paper Eq. 2): plain matrix factorization
+/// minimizing the average squared error over *observed* cells only.
+/// Unbiased under MCAR, biased under MAR/MNAR — the reference floor of
+/// every comparison table.
+class MfNaiveTrainer : public MfJointTrainerBase {
+ public:
+  explicit MfNaiveTrainer(const TrainConfig& config)
+      : MfJointTrainerBase(config) {}
+
+  std::string name() const override { return "MF"; }
+
+ protected:
+  Status Setup(const RatingDataset& dataset) override;
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_MF_NAIVE_H_

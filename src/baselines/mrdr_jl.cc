@@ -1,0 +1,4 @@
+#include "baselines/mrdr_jl.h"
+
+// MrdrJlTrainer is header-defined atop DrTrainerBase; this TU anchors the
+// target.

@@ -1,0 +1,29 @@
+#ifndef DTREC_BASELINES_MRDR_JL_H_
+#define DTREC_BASELINES_MRDR_JL_H_
+
+#include <string>
+
+#include "baselines/dr.h"
+
+namespace dtrec {
+
+/// More-robust DR joint learning (Guo et al., SIGIR 2021): keeps the DR
+/// prediction loss but retrains the imputation with the variance-targeting
+/// weight o·(1−p̂)/p̂², which minimizes the variance of the DR estimator
+/// while preserving double robustness.
+class MrdrJlTrainer : public DrTrainerBase {
+ public:
+  explicit MrdrJlTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "MRDR-JL"; }
+
+ protected:
+  double ImputationWeight(double o, double p) const override {
+    return o * (1.0 - p) / (p * p);
+  }
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_MRDR_JL_H_

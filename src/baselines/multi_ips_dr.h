@@ -1,0 +1,51 @@
+#ifndef DTREC_BASELINES_MULTI_IPS_DR_H_
+#define DTREC_BASELINES_MULTI_IPS_DR_H_
+
+#include <string>
+
+#include "baselines/tower_base.h"
+
+namespace dtrec {
+
+/// Multi-IPS (Zhang et al., WWW 2020): multi-task learning on the vanilla
+/// IPS estimator. One shared embedding pair feeds a propensity (ctr) tower
+/// trained with cross entropy on o over the entire space and a prediction
+/// (cvr) tower trained with the IPS loss whose weights come from the ctr
+/// tower (stop-gradient).
+class MultiIpsTrainer : public TowerTrainerBase {
+ public:
+  explicit MultiIpsTrainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/false) {}
+
+  std::string name() const override { return "Multi-IPS"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    return inv;
+  }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+/// Multi-DR (Zhang et al., WWW 2020): Multi-IPS plus an imputation tower;
+/// the prediction tower trains on the DR loss.
+class MultiDrTrainer : public TowerTrainerBase {
+ public:
+  explicit MultiDrTrainer(const TrainConfig& config)
+      : TowerTrainerBase(config, /*has_imputation=*/true) {}
+
+  std::string name() const override { return "Multi-DR"; }
+  LossInventory Losses() const override {
+    LossInventory inv;
+    inv.propensity_loss = true;
+    return inv;
+  }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_MULTI_IPS_DR_H_

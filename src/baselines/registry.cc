@@ -1,0 +1,97 @@
+#include "baselines/registry.h"
+
+#include "baselines/cvib.h"
+#include "baselines/dib.h"
+#include "baselines/dr.h"
+#include "baselines/dr_bias_mse.h"
+#include "baselines/dr_jl.h"
+#include "baselines/esmm.h"
+#include "baselines/escm2.h"
+#include "baselines/ips.h"
+#include "baselines/ips_v2.h"
+#include "baselines/mf_naive.h"
+#include "baselines/mr.h"
+#include "baselines/mrdr_jl.h"
+#include "baselines/multi_ips_dr.h"
+#include "baselines/snips.h"
+#include "baselines/stable_dr.h"
+#include "baselines/tdr.h"
+#include "core/dt_dr.h"
+#include "core/dt_ips.h"
+
+namespace dtrec {
+
+std::vector<std::string> AllMethodNames() {
+  return {"MF",        "CVIB",      "DIB",       "IPS",       "SNIPS",
+          "DR",        "DR-JL",     "MRDR-JL",   "DR-BIAS",   "DR-MSE",
+          "MR",        "TDR",       "TDR-JL",    "Stable-DR", "Multi-IPS",
+          "Multi-DR",  "ESMM",      "ESCM2-IPS", "ESCM2-DR",  "IPS-V2",
+          "DR-V2",     "DT-IPS",    "DT-DR"};
+}
+
+std::vector<std::string> ExtensionMethodNames() { return {"DT-MRDR"}; }
+
+std::vector<std::string> SemiSyntheticMethodNames() {
+  // Table III's nine rows.
+  return {"MF",        "IPS",       "DR",       "Multi-IPS", "Multi-DR",
+          "ESCM2-IPS", "ESCM2-DR",  "DT-IPS",   "DT-DR"};
+}
+
+Result<std::unique_ptr<RecommenderTrainer>> MakeTrainer(
+    const std::string& name, const TrainConfig& config) {
+  std::unique_ptr<RecommenderTrainer> trainer;
+  if (name == "MF") {
+    trainer = std::make_unique<MfNaiveTrainer>(config);
+  } else if (name == "CVIB") {
+    trainer = std::make_unique<CvibTrainer>(config);
+  } else if (name == "DIB") {
+    trainer = std::make_unique<DibTrainer>(config);
+  } else if (name == "IPS") {
+    trainer = std::make_unique<IpsTrainer>(config);
+  } else if (name == "SNIPS") {
+    trainer = std::make_unique<SnipsTrainer>(config);
+  } else if (name == "DR") {
+    trainer = std::make_unique<DrTrainer>(config);
+  } else if (name == "DR-JL") {
+    trainer = std::make_unique<DrJlTrainer>(config);
+  } else if (name == "MRDR-JL") {
+    trainer = std::make_unique<MrdrJlTrainer>(config);
+  } else if (name == "DR-BIAS") {
+    trainer = std::make_unique<DrBiasTrainer>(config);
+  } else if (name == "DR-MSE") {
+    trainer = std::make_unique<DrMseTrainer>(config);
+  } else if (name == "MR") {
+    trainer = std::make_unique<MrTrainer>(config);
+  } else if (name == "TDR") {
+    trainer = std::make_unique<TdrTrainer>(config);
+  } else if (name == "TDR-JL") {
+    trainer = std::make_unique<TdrJlTrainer>(config);
+  } else if (name == "Stable-DR") {
+    trainer = std::make_unique<StableDrTrainer>(config);
+  } else if (name == "Multi-IPS") {
+    trainer = std::make_unique<MultiIpsTrainer>(config);
+  } else if (name == "Multi-DR") {
+    trainer = std::make_unique<MultiDrTrainer>(config);
+  } else if (name == "ESMM") {
+    trainer = std::make_unique<EsmmTrainer>(config);
+  } else if (name == "ESCM2-IPS") {
+    trainer = std::make_unique<Escm2IpsTrainer>(config);
+  } else if (name == "ESCM2-DR") {
+    trainer = std::make_unique<Escm2DrTrainer>(config);
+  } else if (name == "IPS-V2") {
+    trainer = std::make_unique<IpsV2Trainer>(config);
+  } else if (name == "DR-V2") {
+    trainer = std::make_unique<DrV2Trainer>(config);
+  } else if (name == "DT-IPS") {
+    trainer = std::make_unique<DtIpsTrainer>(config);
+  } else if (name == "DT-DR") {
+    trainer = std::make_unique<DtDrTrainer>(config);
+  } else if (name == "DT-MRDR") {
+    trainer = std::make_unique<DtMrdrTrainer>(config);
+  } else {
+    return Status::NotFound("unknown method name: " + name);
+  }
+  return trainer;
+}
+
+}  // namespace dtrec

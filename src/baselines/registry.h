@@ -1,0 +1,30 @@
+#ifndef DTREC_BASELINES_REGISTRY_H_
+#define DTREC_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/trainer_base.h"
+
+namespace dtrec {
+
+/// Canonical method names in the paper's Table IV order (baselines first,
+/// proposed methods last).
+std::vector<std::string> AllMethodNames();
+
+/// The subset used by the semi-synthetic Table III.
+std::vector<std::string> SemiSyntheticMethodNames();
+
+/// Methods beyond the paper's tables (framework extensions, e.g. DT-MRDR).
+std::vector<std::string> ExtensionMethodNames();
+
+/// Instantiates a trainer by its canonical name (as printed in the paper's
+/// tables, e.g. "MF", "IPS", "ESCM2-DR", "DT-IPS"). Unknown names yield
+/// NotFound.
+Result<std::unique_ptr<RecommenderTrainer>> MakeTrainer(
+    const std::string& name, const TrainConfig& config);
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_REGISTRY_H_

@@ -1,0 +1,30 @@
+#include "baselines/snips.h"
+
+#include "propensity/propensity.h"
+
+namespace dtrec {
+
+void SnipsTrainer::TrainStep(const Batch& batch) {
+  // Self-normalization: weights o_i/p̂_i scaled by Σ_j o_j/p̂_j rather
+  // than the batch size.
+  double weight_sum = 0.0;
+  Matrix w(batch.size(), 1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch.observed(i, 0) == 0.0) continue;
+    const double p = ClipPropensity(BatchPropensity(batch, i),
+                                    config_.propensity_clip);
+    w(i, 0) = 1.0 / p;
+    weight_sum += w(i, 0);
+  }
+  if (weight_sum == 0.0) return;
+  for (size_t i = 0; i < batch.size(); ++i) w(i, 0) /= weight_sum;
+
+  ag::Tape tape;
+  std::vector<ag::Var> leaves = pred_.MakeLeaves(&tape);
+  ag::Var logits = pred_.BatchLogits(&tape, leaves, batch.users, batch.items);
+  ag::Var errors = SquaredErrorVsLabels(&tape, logits, batch.ratings);
+  ag::Var loss = ag::WeightedSumElems(errors, w);
+  BackwardAndStep(&tape, loss, leaves, pred_.Params());
+}
+
+}  // namespace dtrec

@@ -1,0 +1,25 @@
+#ifndef DTREC_BASELINES_SNIPS_H_
+#define DTREC_BASELINES_SNIPS_H_
+
+#include <string>
+
+#include "baselines/ips.h"
+
+namespace dtrec {
+
+/// Self-normalized IPS (Swaminathan & Joachims): divides the weighted sum
+/// of errors by the sum of inverse weights instead of |D|, trading a small
+/// bias for a large variance reduction. Inherits IPS's propensity stack.
+class SnipsTrainer : public IpsTrainer {
+ public:
+  explicit SnipsTrainer(const TrainConfig& config) : IpsTrainer(config) {}
+
+  std::string name() const override { return "SNIPS"; }
+
+ protected:
+  void TrainStep(const Batch& batch) override;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_SNIPS_H_

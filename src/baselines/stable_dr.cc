@@ -1,0 +1,4 @@
+#include "baselines/stable_dr.h"
+
+// StableDrTrainer is header-defined atop DrTrainerBase; this TU anchors
+// the target.

@@ -1,0 +1,27 @@
+#ifndef DTREC_BASELINES_STABLE_DR_H_
+#define DTREC_BASELINES_STABLE_DR_H_
+
+#include <string>
+
+#include "baselines/dr.h"
+
+namespace dtrec {
+
+/// StableDR (Li et al., ICLR 2023): self-normalizes the DR correction term
+/// (divides by Σo/p̂ instead of |D|), giving bounded bias/variance even
+/// with arbitrarily small propensities and a weaker reliance on
+/// extrapolated imputations. Joint learning of the pseudo-label model.
+class StableDrTrainer : public DrTrainerBase {
+ public:
+  explicit StableDrTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "Stable-DR"; }
+
+ protected:
+  bool SelfNormalized() const override { return true; }
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_STABLE_DR_H_

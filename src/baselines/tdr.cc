@@ -1,0 +1,4 @@
+#include "baselines/tdr.h"
+
+// TdrTrainer / TdrJlTrainer are header-defined atop DrTrainerBase; this TU
+// anchors the target.

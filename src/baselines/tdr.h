@@ -1,0 +1,40 @@
+#ifndef DTREC_BASELINES_TDR_H_
+#define DTREC_BASELINES_TDR_H_
+
+#include <string>
+
+#include "baselines/dr.h"
+
+namespace dtrec {
+
+/// Targeted DR (Li et al., ICLR 2023 "TDR-CL"): augments DR with a
+/// batch-level targeting shift δ = Σo(e−ê)/p̂ / Σo/p̂ that re-centers the
+/// imputed errors so the empirical bias of the correction term vanishes.
+/// TDR keeps a pre-trained (frozen) pseudo-label model.
+class TdrTrainer : public DrTrainerBase {
+ public:
+  explicit TdrTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/false) {}
+
+  std::string name() const override { return "TDR"; }
+
+ protected:
+  bool UseTargeting() const override { return true; }
+};
+
+/// TDR-JL: targeting plus joint learning of the pseudo-label model, whose
+/// regression target absorbs the shift δ.
+class TdrJlTrainer : public DrTrainerBase {
+ public:
+  explicit TdrJlTrainer(const TrainConfig& config)
+      : DrTrainerBase(config, /*joint_learning=*/true) {}
+
+  std::string name() const override { return "TDR-JL"; }
+
+ protected:
+  bool UseTargeting() const override { return true; }
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_TDR_H_

@@ -1,0 +1,106 @@
+#include "baselines/trainer_base.h"
+
+#include <algorithm>
+
+#include "optim/lr_schedule.h"
+#include "util/math_util.h"
+
+namespace dtrec {
+
+ParamBudget RecommenderTrainer::Budget() const {
+  ParamBudget budget;
+  budget.embedding_params = NumParameters();
+  return budget;
+}
+
+std::vector<double> RecommenderTrainer::PredictMany(
+    const std::vector<RatingTriple>& triples) const {
+  std::vector<double> out;
+  out.reserve(triples.size());
+  for (const auto& t : triples) out.push_back(Predict(t.user, t.item));
+  return out;
+}
+
+Matrix RecommenderTrainer::PredictFullMatrix(size_t num_users,
+                                             size_t num_items) const {
+  Matrix out(num_users, num_items);
+  for (size_t u = 0; u < num_users; ++u) {
+    for (size_t i = 0; i < num_items; ++i) out(u, i) = Predict(u, i);
+  }
+  return out;
+}
+
+Status MfJointTrainerBase::Fit(const RatingDataset& dataset) {
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  rng_ = Rng(config_.seed);
+  pred_ = MfModel(PredModelConfig(dataset, rng_.NextUint64()));
+  opt_ = MakeOptimizer(config_.optimizer, config_.learning_rate,
+                       config_.weight_decay);
+  DTREC_RETURN_IF_ERROR(Setup(dataset));
+
+  FullMatrixBatchSampler sampler(dataset, rng_.NextUint64());
+  const size_t cells = dataset.num_users() * dataset.num_items();
+  size_t steps = config_.steps_per_epoch;
+  if (steps == 0) {
+    steps = (cells + config_.batch_size - 1) / config_.batch_size;
+    steps = std::min(steps, config_.max_steps_per_epoch);
+  }
+  const InverseTimeDecayLr schedule(config_.learning_rate,
+                                    config_.lr_decay);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.lr_decay > 0.0) {
+      OnLearningRate(schedule.LearningRate(static_cast<int64_t>(epoch)));
+    }
+    for (size_t step = 0; step < steps; ++step) {
+      TrainStep(sampler.Sample(config_.batch_size));
+    }
+    EpochEnd(epoch);
+  }
+  return Status::OK();
+}
+
+void MfJointTrainerBase::BackwardAndStep(ag::Tape* tape, ag::Var loss,
+                                         const std::vector<ag::Var>& leaves,
+                                         const std::vector<Matrix*>& params) {
+  DTREC_CHECK(tape != nullptr);
+  DTREC_CHECK_EQ(leaves.size(), params.size());
+  tape->Backward(loss);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    opt_->Step(params[i], tape->GradOf(leaves[i]));
+  }
+}
+
+Matrix MfJointTrainerBase::IpsWeights(
+    const Batch& batch,
+    const std::function<double(size_t)>& propensity) const {
+  const double inv_b = 1.0 / static_cast<double>(batch.size());
+  Matrix w(batch.size(), 1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch.observed(i, 0) == 0.0) continue;
+    const double p = ClipPropensity(propensity(i), config_.propensity_clip);
+    w(i, 0) = inv_b / p;
+  }
+  return w;
+}
+
+MfModelConfig MfJointTrainerBase::PredModelConfig(
+    const RatingDataset& dataset, uint64_t seed) const {
+  MfModelConfig mc;
+  mc.num_users = dataset.num_users();
+  mc.num_items = dataset.num_items();
+  mc.dim = config_.embedding_dim;
+  mc.use_bias = config_.use_bias;
+  mc.init_scale = config_.init_scale;
+  mc.seed = seed;
+  return mc;
+}
+
+ag::Var SquaredErrorVsLabels(ag::Tape* tape, ag::Var logits,
+                             const Matrix& labels) {
+  DTREC_CHECK(tape != nullptr);
+  ag::Var probs = ag::Sigmoid(logits);
+  ag::Var residual = ag::Sub(tape->Constant(labels), probs);
+  return ag::Square(residual);
+}
+
+}  // namespace dtrec

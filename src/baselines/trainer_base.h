@@ -1,0 +1,151 @@
+#ifndef DTREC_BASELINES_TRAINER_BASE_H_
+#define DTREC_BASELINES_TRAINER_BASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "data/rating_dataset.h"
+#include "data/samplers.h"
+#include "models/mf_model.h"
+#include "models/param_count.h"
+#include "optim/optimizer.h"
+#include "propensity/propensity.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Hyper-parameters shared by every trainer. Method-specific knobs are
+/// grouped at the bottom; a method reads only the ones it documents.
+struct TrainConfig {
+  size_t epochs = 20;
+  size_t batch_size = 2048;
+  size_t steps_per_epoch = 0;  ///< 0 → ceil(|D|/batch), capped below
+  size_t max_steps_per_epoch = 120;
+  double learning_rate = 0.05;
+  double lr_decay = 0.0;  ///< inverse-time decay rate per epoch (0 = off)
+  double weight_decay = 1e-5;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  size_t embedding_dim = 8;
+  bool use_bias = false;  ///< user/item bias terms in MF heads
+  double init_scale = 0.1;
+  double propensity_clip = 0.05;  ///< lower clip for inverse weights
+  bool mf_propensity = false;  ///< IPS/DR: MF propensity instead of the
+                               ///< logistic identity model (paper Table II)
+  uint64_t seed = 123;
+
+  // -- multi-task / method-specific weights ---------------------------
+  double alpha = 1.0;    ///< propensity-loss weight (DT, ESCM², Multi-*)
+  double beta = 1e-4;    ///< disentangling-loss weight (DT, DIB)
+  double gamma = 1e-5;   ///< regularization-loss weight (DT)
+  size_t disentangle_dim = 0;  ///< A in the paper; 0 → dim/2
+  double lambda1 = 0.5;  ///< ESCM² counterfactual-risk weight
+  double lambda2 = 0.5;  ///< ESCM² CTCVR weight / CVIB confidence weight
+  size_t mlp_hidden = 16;  ///< tower width for shared-embedding methods
+  bool dt_mlp_propensity = true;  ///< DT: MLP propensity head (paper Table
+                                  ///< II charges DT-IPS 1× hidden); false
+                                  ///< falls back to the per-dim GLM head
+};
+
+/// Interface every debiasing method implements. Training reads only
+/// dataset.train() (the biased observations); the unbiased test slice is
+/// reserved for evaluation.
+class RecommenderTrainer {
+ public:
+  explicit RecommenderTrainer(const TrainConfig& config) : config_(config) {}
+  virtual ~RecommenderTrainer() = default;
+
+  RecommenderTrainer(const RecommenderTrainer&) = delete;
+  RecommenderTrainer& operator=(const RecommenderTrainer&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual Status Fit(const RatingDataset& dataset) = 0;
+
+  /// Predicted probability that (user, item) is a positive interaction.
+  virtual double Predict(size_t user, size_t item) const = 0;
+
+  virtual size_t NumParameters() const = 0;
+
+  /// Itemized budget for Table II / Table VI; default attributes all
+  /// parameters to embeddings.
+  virtual ParamBudget Budget() const;
+
+  /// Which auxiliary losses the method trains (Table II inventory).
+  virtual LossInventory Losses() const { return {}; }
+
+  /// Predictions aligned with `triples`.
+  std::vector<double> PredictMany(
+      const std::vector<RatingTriple>& triples) const;
+
+  /// Dense prediction matrix (semi-synthetic pointwise evaluation).
+  Matrix PredictFullMatrix(size_t num_users, size_t num_items) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ protected:
+  TrainConfig config_;
+};
+
+/// Scaffolding shared by all MF-based joint trainers: owns the prediction
+/// MF model and the optimizer, and drives the epoch/step loop over uniform
+/// full-matrix batches (the stochastic form of the paper's 1/|D| Σ_D
+/// losses). Subclasses implement Setup() and TrainStep().
+class MfJointTrainerBase : public RecommenderTrainer {
+ public:
+  explicit MfJointTrainerBase(const TrainConfig& config)
+      : RecommenderTrainer(config), rng_(config.seed) {}
+
+  Status Fit(const RatingDataset& dataset) final;
+
+  double Predict(size_t user, size_t item) const override {
+    return pred_.PredictProbability(user, item);
+  }
+
+  size_t NumParameters() const override { return pred_.NumParameters(); }
+
+ protected:
+  /// Builds method-specific state (extra models, pre-fit propensities).
+  /// The prediction model and optimizer already exist.
+  virtual Status Setup(const RatingDataset& dataset) = 0;
+
+  /// One SGD step on a uniform full-matrix batch.
+  virtual void TrainStep(const Batch& batch) = 0;
+
+  /// Optional per-epoch hook (e.g. decayed schedules, recalibration).
+  virtual void EpochEnd(size_t epoch) { (void)epoch; }
+
+  /// Called when the per-epoch learning rate changes (inverse-time decay,
+  /// TrainConfig::lr_decay); subclasses owning extra optimizers forward it.
+  virtual void OnLearningRate(double lr) { opt_->set_learning_rate(lr); }
+
+  /// Runs backward from `loss` and applies one optimizer step for each
+  /// (leaf, parameter) pair.
+  void BackwardAndStep(ag::Tape* tape, ag::Var loss,
+                       const std::vector<ag::Var>& leaves,
+                       const std::vector<Matrix*>& params);
+
+  /// Per-cell inverse-propensity weights o_i / clip(p̂_i) / B, the batch
+  /// estimate of the IPS loss weights. `propensity(i)` returns p̂ for
+  /// batch index i.
+  Matrix IpsWeights(const Batch& batch,
+                    const std::function<double(size_t)>& propensity) const;
+
+  MfModelConfig PredModelConfig(const RatingDataset& dataset,
+                                uint64_t seed) const;
+
+  MfModel pred_;
+  std::unique_ptr<Optimizer> opt_;
+  Rng rng_;
+};
+
+/// Squared-error Var e = (r − σ(logits))² against constant labels.
+ag::Var SquaredErrorVsLabels(ag::Tape* tape, ag::Var logits,
+                             const Matrix& labels);
+
+}  // namespace dtrec
+
+#endif  // DTREC_BASELINES_TRAINER_BASE_H_

@@ -1,0 +1,69 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+
+#include "tensor/serialization.h"
+#include "util/string_util.h"
+
+namespace dtrec {
+namespace {
+
+Status SaveParams(const std::vector<const Matrix*>& params,
+                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  for (const Matrix* param : params) {
+    DTREC_RETURN_IF_ERROR(SaveMatrix(*param, &out));
+  }
+  return Status::OK();
+}
+
+Status LoadParams(const std::string& path,
+                  const std::vector<Matrix*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  for (size_t i = 0; i < params.size(); ++i) {
+    auto loaded = LoadMatrix(&in);
+    if (!loaded.ok()) return loaded.status();
+    const Matrix& m = loaded.value();
+    if (m.rows() != params[i]->rows() || m.cols() != params[i]->cols()) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint matrix %zu is %zux%zu but the model expects %zux%zu",
+          i, m.rows(), m.cols(), params[i]->rows(), params[i]->cols()));
+    }
+    *params[i] = m;
+  }
+  // A well-formed checkpoint has no trailing bytes.
+  char extra = 0;
+  in.read(&extra, 1);
+  if (in.gcount() != 0) {
+    return Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDisentangledEmbeddings(const DisentangledEmbeddings& emb,
+                                  const std::string& path) {
+  return SaveParams(emb.Params(), path);
+}
+
+Status LoadDisentangledEmbeddings(const std::string& path,
+                                  DisentangledEmbeddings* emb) {
+  if (emb == nullptr) return Status::InvalidArgument("null embeddings");
+  return LoadParams(path, emb->Params());
+}
+
+Status SaveMfModel(const MfModel& model, const std::string& path) {
+  return SaveParams(model.Params(), path);
+}
+
+Status LoadMfModel(const std::string& path, MfModel* model) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  return LoadParams(path, model->Params());
+}
+
+}  // namespace dtrec

@@ -1,0 +1,32 @@
+#ifndef DTREC_CORE_CHECKPOINT_H_
+#define DTREC_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/disentangled_embeddings.h"
+#include "models/mf_model.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Checkpointing for trained models: a single binary file holding the
+/// parameter matrices in a fixed order (tensor/serialization format per
+/// matrix). Lets a downstream service train once and serve predictions
+/// without the training stack.
+
+/// Saves / restores all parameter matrices of a DisentangledEmbeddings.
+/// Load requires `emb` to be pre-constructed with the same shapes (use
+/// DisentangledEmbeddings::Create with the original config); shapes are
+/// verified and mismatches rejected.
+Status SaveDisentangledEmbeddings(const DisentangledEmbeddings& emb,
+                                  const std::string& path);
+Status LoadDisentangledEmbeddings(const std::string& path,
+                                  DisentangledEmbeddings* emb);
+
+/// Saves / restores an MfModel's parameters (same shape contract).
+Status SaveMfModel(const MfModel& model, const std::string& path);
+Status LoadMfModel(const std::string& path, MfModel* model);
+
+}  // namespace dtrec
+
+#endif  // DTREC_CORE_CHECKPOINT_H_

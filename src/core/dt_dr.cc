@@ -1,0 +1,98 @@
+#include "core/dt_dr.h"
+
+#include "util/math_util.h"
+
+namespace dtrec {
+
+Status DtDrTrainer::Setup(const RatingDataset& dataset) {
+  DTREC_RETURN_IF_ERROR(DtIpsTrainer::Setup(dataset));
+  imp_ = MfModel(PredModelConfig(dataset, rng_.NextUint64()));
+  imp_opt_ = MakeOptimizer(config_.optimizer, config_.learning_rate,
+                           config_.weight_decay);
+  return Status::OK();
+}
+
+size_t DtDrTrainer::NumParameters() const {
+  return DtIpsTrainer::NumParameters() + imp_.NumParameters();
+}
+
+ParamBudget DtDrTrainer::Budget() const {
+  ParamBudget budget = DtIpsTrainer::Budget();
+  budget.embedding_params += imp_.NumParameters();
+  return budget;
+}
+
+void DtDrTrainer::TrainStep(const Batch& batch) {
+  const size_t b = batch.size();
+  const double inv_b = 1.0 / static_cast<double>(b);
+
+  ag::Tape tape;
+  std::vector<ag::Var> extra_leaves;
+  std::vector<Matrix*> extra_params;
+  DisentangledGraph graph =
+      BuildGraph(&tape, batch, &extra_leaves, &extra_params);
+
+  // Constants of the prediction step: clipped learned MNAR propensities
+  // and the imputation model's pseudo-labels.
+  Matrix clipped_p(b, 1);
+  Matrix pseudo(b, 1);
+  Matrix w_imputed(b, 1), w_observed(b, 1);
+  const Matrix& prop_logits = graph.prop_logits.value();
+  for (size_t i = 0; i < b; ++i) {
+    clipped_p(i, 0) = ClipPropensity(Sigmoid(prop_logits(i, 0)),
+                                     config_.propensity_clip);
+    pseudo(i, 0) = imp_.PredictProbability(batch.users[i], batch.items[i]);
+    const double o_over_p = batch.observed(i, 0) / clipped_p(i, 0);
+    w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
+    w_observed(i, 0) = o_over_p * inv_b;
+  }
+
+  ag::Var probs = ag::Sigmoid(graph.rating_logits);
+  ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), probs));
+  ag::Var e_hat = ag::Square(ag::Sub(tape.Constant(pseudo), probs));
+  ag::Var dr_loss = ag::Add(ag::WeightedSumElems(e_hat, w_imputed),
+                            ag::WeightedSumElems(e, w_observed));
+
+  ag::Var loss = ag::Add(dr_loss, SharedLossTerms(&tape, batch, &graph));
+
+  std::vector<ag::Var> leaves;
+  std::vector<Matrix*> params;
+  CollectDisentangledParams(&graph, &emb_, &leaves, &params);
+  leaves.insert(leaves.end(), extra_leaves.begin(), extra_leaves.end());
+  params.insert(params.end(), extra_params.begin(), extra_params.end());
+  BackwardAndStep(&tape, loss, leaves, params);
+
+  ImputationStep(batch, clipped_p);
+}
+
+void DtDrTrainer::ImputationStep(const Batch& batch,
+                                 const Matrix& clipped_p) {
+  const size_t b = batch.size();
+  const double inv_b = 1.0 / static_cast<double>(b);
+  Matrix pred_probs(b, 1), target_e(b, 1), w(b, 1);
+  double total = 0.0;
+  for (size_t i = 0; i < b; ++i) {
+    const double prob = Predict(batch.users[i], batch.items[i]);
+    pred_probs(i, 0) = prob;
+    const double diff = batch.ratings(i, 0) - prob;
+    target_e(i, 0) = diff * diff;
+    w(i, 0) = ImputationWeight(batch.observed(i, 0), clipped_p(i, 0)) *
+              inv_b;
+    total += w(i, 0);
+  }
+  if (total == 0.0) return;
+
+  ag::Tape tape;
+  std::vector<ag::Var> leaves = imp_.MakeLeaves(&tape);
+  ag::Var logits = imp_.BatchLogits(&tape, leaves, batch.users, batch.items);
+  ag::Var pseudo = ag::Sigmoid(logits);
+  ag::Var e_hat = ag::Square(ag::Sub(pseudo, tape.Constant(pred_probs)));
+  ag::Var loss = ag::WeightedSumElems(
+      ag::Square(ag::Sub(tape.Constant(target_e), e_hat)), w);
+  tape.Backward(loss);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    imp_opt_->Step(imp_.Params()[i], tape.GradOf(leaves[i]));
+  }
+}
+
+}  // namespace dtrec

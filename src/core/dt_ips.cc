@@ -1,0 +1,146 @@
+#include "core/dt_ips.h"
+
+#include "core/losses.h"
+#include "tensor/ops.h"
+#include "util/math_util.h"
+
+namespace dtrec {
+
+Status DtIpsTrainer::Setup(const RatingDataset& dataset) {
+  const size_t a = primary_dim();
+  if (a == 0 || a >= config_.embedding_dim) {
+    return Status::InvalidArgument(
+        "DT methods need 0 < disentangle_dim < embedding_dim");
+  }
+  Rng init_rng(rng_.NextUint64());
+  const double rate = Clamp(dataset.TrainDensity(), 1e-6, 1.0 - 1e-6);
+  emb_ = DisentangledEmbeddings::Create(
+      dataset.num_users(), dataset.num_items(), config_.embedding_dim, a,
+      config_.init_scale, Logit(rate), &init_rng, config_.use_bias);
+  if (config_.dt_mlp_propensity) {
+    // Propensity head over [p_u, q_i, p_u∘q_i] (full embedding incl. the
+    // auxiliary block — Figure 1(d)'s z → o edge). The paper's Table II
+    // charges DT-IPS one hidden layer; this is it. Set
+    // TrainConfig::dt_mlp_propensity=false for the GLM-head ablation.
+    prop_tower_ = MlpHead(3 * config_.embedding_dim, config_.mlp_hidden,
+                          config_.init_scale, &init_rng);
+  }
+  disentangle_history_.clear();
+  normalized_history_.clear();
+  return Status::OK();
+}
+
+double DtIpsTrainer::Predict(size_t user, size_t item) const {
+  return Sigmoid(emb_.RatingLogit(user, item));
+}
+
+double DtIpsTrainer::PropensityEstimate(size_t user, size_t item) const {
+  if (!config_.dt_mlp_propensity) {
+    return Sigmoid(emb_.PropensityLogit(user, item));
+  }
+  const Matrix pu = HConcat(emb_.p_primary.RowCopy(user),
+                            emb_.p_auxiliary.RowCopy(user));
+  const Matrix qi = HConcat(emb_.q_primary.RowCopy(item),
+                            emb_.q_auxiliary.RowCopy(item));
+  const Matrix features = HConcat(HConcat(pu, qi), Hadamard(pu, qi));
+  return Sigmoid(prop_tower_.Forward(features));
+}
+
+size_t DtIpsTrainer::NumParameters() const {
+  size_t n = emb_.NumParameters();
+  if (config_.dt_mlp_propensity) n += prop_tower_.NumParameters();
+  return n;
+}
+
+ParamBudget DtIpsTrainer::Budget() const {
+  ParamBudget budget;
+  budget.embedding_params = emb_.p_primary.size() + emb_.p_auxiliary.size() +
+                            emb_.q_primary.size() + emb_.q_auxiliary.size();
+  budget.other_params = emb_.NumParameters() - budget.embedding_params;
+  if (config_.dt_mlp_propensity) {
+    budget.hidden_params = prop_tower_.NumParameters();
+  }
+  return budget;
+}
+
+DisentangledGraph DtIpsTrainer::BuildGraph(
+    ag::Tape* tape, const Batch& batch, std::vector<ag::Var>* extra_leaves,
+    std::vector<Matrix*>* extra_params) {
+  DisentangledGraph graph =
+      BuildDisentangledGraph(tape, emb_, batch.users, batch.items);
+  if (config_.dt_mlp_propensity) {
+    ag::Var pu_full = ag::HConcat(graph.pu_primary, graph.pu_auxiliary);
+    ag::Var qi_full = ag::HConcat(graph.qi_primary, graph.qi_auxiliary);
+    ag::Var features = ag::HConcat(ag::HConcat(pu_full, qi_full),
+                                   ag::Mul(pu_full, qi_full));
+    std::vector<ag::Var> tower_leaves = prop_tower_.MakeLeaves(tape);
+    graph.prop_logits = prop_tower_.Forward(tower_leaves, features);
+    const std::vector<Matrix*> tower_params = prop_tower_.Params();
+    for (size_t i = 0; i < tower_leaves.size(); ++i) {
+      extra_leaves->push_back(tower_leaves[i]);
+      extra_params->push_back(tower_params[i]);
+    }
+  }
+  return graph;
+}
+
+ag::Var DtIpsTrainer::SharedLossTerms(ag::Tape* tape, const Batch& batch,
+                                      DisentangledGraph* graph) {
+  // Propensity loss L_O: cross entropy of o over the sampled slice of the
+  // entire space (stable logit-space form).
+  const Matrix bce_weights(batch.size(), 1,
+                           1.0 / static_cast<double>(batch.size()));
+  ag::Var prop_loss = ag::SigmoidBceSum(graph->prop_logits, batch.observed,
+                                        bce_weights);
+  ag::Var shared = ag::Scale(prop_loss, config_.alpha);
+  if (config_.beta != 0.0) {
+    shared =
+        ag::Add(shared, ag::Scale(DisentangleLoss(*graph), config_.beta));
+  }
+  if (config_.gamma != 0.0) {
+    shared = ag::Add(shared,
+                     ag::Scale(RegularizationLoss(*graph), config_.gamma));
+  }
+  (void)tape;
+  return shared;
+}
+
+void DtIpsTrainer::TrainStep(const Batch& batch) {
+  ag::Tape tape;
+  std::vector<ag::Var> extra_leaves;
+  std::vector<Matrix*> extra_params;
+  DisentangledGraph graph =
+      BuildGraph(&tape, batch, &extra_leaves, &extra_params);
+
+  // IPS term with the learned MNAR propensity (stop-gradient weights: the
+  // propensity is trained by L_O, not by the reweighted rating loss).
+  Matrix w(batch.size(), 1);
+  const double inv_b = 1.0 / static_cast<double>(batch.size());
+  const Matrix& prop_logits = graph.prop_logits.value();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch.observed(i, 0) == 0.0) continue;
+    const double p = ClipPropensity(Sigmoid(prop_logits(i, 0)),
+                                    config_.propensity_clip);
+    w(i, 0) = inv_b / p;
+  }
+  ag::Var e =
+      SquaredErrorVsLabels(&tape, graph.rating_logits, batch.ratings);
+  ag::Var ips_loss = ag::WeightedSumElems(e, w);
+
+  ag::Var loss = ag::Add(ips_loss, SharedLossTerms(&tape, batch, &graph));
+
+  std::vector<ag::Var> leaves;
+  std::vector<Matrix*> params;
+  CollectDisentangledParams(&graph, &emb_, &leaves, &params);
+  leaves.insert(leaves.end(), extra_leaves.begin(), extra_leaves.end());
+  params.insert(params.end(), extra_params.begin(), extra_params.end());
+  BackwardAndStep(&tape, loss, leaves, params);
+}
+
+void DtIpsTrainer::EpochEnd(size_t epoch) {
+  (void)epoch;
+  disentangle_history_.push_back(emb_.DisentangleLossValue());
+  normalized_history_.push_back(emb_.NormalizedDisentangleValue());
+}
+
+}  // namespace dtrec

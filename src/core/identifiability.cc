@@ -1,0 +1,127 @@
+#include "core/identifiability.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+Example1Model Example1ModelA() { return {-4.0, 2.0, 1.0}; }
+Example1Model Example1ModelB() { return {4.0, -2.0, 3.0}; }
+
+double Example1Propensity(const Example1Model& model, double r) {
+  return Sigmoid(model.selection_intercept + model.selection_slope * r);
+}
+
+double Example1OutcomeDensity(const Example1Model& model, double r) {
+  return NormalPdf(r - model.outcome_mean);
+}
+
+double Example1ObservedDensity(const Example1Model& model, double r) {
+  return Example1Propensity(model, r) * Example1OutcomeDensity(model, r);
+}
+
+std::vector<MnarSample> SimulateSeparableLogistic(
+    const SeparableLogisticParams& params, size_t n, Rng* rng) {
+  DTREC_CHECK(rng != nullptr);
+  std::vector<MnarSample> samples;
+  samples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    MnarSample s;
+    s.z = rng->Normal();
+    s.rating = rng->Bernoulli(params.eta) ? 1 : 0;
+    const double logit = params.alpha0 + params.alpha1 * s.z +
+                         params.beta1 * static_cast<double>(s.rating);
+    s.observed = rng->Bernoulli(Sigmoid(logit));
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+double ObservedDataNll(const SeparableLogisticParams& params,
+                       const std::vector<MnarSample>& samples,
+                       bool use_aux) {
+  DTREC_CHECK(!samples.empty());
+  const double eta = Clamp(params.eta, 1e-9, 1.0 - 1e-9);
+  double nll = 0.0;
+  for (const auto& s : samples) {
+    const double aux = use_aux ? params.alpha1 * s.z : 0.0;
+    if (s.observed) {
+      const double logit =
+          params.alpha0 + aux + params.beta1 * static_cast<double>(s.rating);
+      nll += Log1pExp(-logit);  // −log σ(logit)
+      nll -= s.rating == 1 ? std::log(eta) : std::log(1.0 - eta);
+    } else {
+      const double miss0 = 1.0 - Sigmoid(params.alpha0 + aux);
+      const double miss1 =
+          1.0 - Sigmoid(params.alpha0 + aux + params.beta1);
+      const double lik = miss0 * (1.0 - eta) + miss1 * eta;
+      nll -= std::log(Clamp(lik, 1e-300, 1.0));
+    }
+  }
+  return nll / static_cast<double>(samples.size());
+}
+
+Result<SeparableLogisticParams> FitSeparableLogistic(
+    const std::vector<MnarSample>& samples, bool use_aux,
+    const SeparableLogisticParams& init, size_t iterations,
+    double learning_rate) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("no samples to fit");
+  }
+  if (init.eta <= 0.0 || init.eta >= 1.0) {
+    return Status::InvalidArgument("init.eta must lie in (0, 1)");
+  }
+  double alpha0 = init.alpha0;
+  double alpha1 = init.alpha1;
+  double beta1 = init.beta1;
+  double eta_logit = Logit(init.eta);
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    double g_a0 = 0.0, g_a1 = 0.0, g_b1 = 0.0, g_eta = 0.0;
+    const double eta = Sigmoid(eta_logit);
+    for (const auto& s : samples) {
+      const double aux = use_aux ? alpha1 * s.z : 0.0;
+      if (s.observed) {
+        const double r = static_cast<double>(s.rating);
+        const double sel = Sigmoid(alpha0 + aux + beta1 * r);
+        const double d_logit = -(1.0 - sel);  // d(−logσ)/d logit
+        g_a0 += d_logit;
+        if (use_aux) g_a1 += d_logit * s.z;
+        g_b1 += d_logit * r;
+        g_eta += -(r - eta);  // via logit parameterization
+      } else {
+        const double p0 = Sigmoid(alpha0 + aux);
+        const double p1 = Sigmoid(alpha0 + aux + beta1);
+        const double lik =
+            Clamp((1.0 - p0) * (1.0 - eta) + (1.0 - p1) * eta, 1e-12, 1.0);
+        const double d0 = p0 * (1.0 - p0);
+        const double d1 = p1 * (1.0 - p1);
+        // d(−log lik)/dα₀ etc.
+        g_a0 += (d0 * (1.0 - eta) + d1 * eta) / lik;
+        if (use_aux) g_a1 += (d0 * (1.0 - eta) + d1 * eta) * s.z / lik;
+        g_b1 += d1 * eta / lik;
+        g_eta += -((p0 - p1) / lik) * eta * (1.0 - eta);
+      }
+    }
+    const double lr =
+        learning_rate / (1.0 + 2.0 * static_cast<double>(iter) /
+                                   static_cast<double>(iterations));
+    alpha0 -= lr * g_a0 * inv_n;
+    if (use_aux) alpha1 -= lr * g_a1 * inv_n;
+    beta1 -= lr * g_b1 * inv_n;
+    eta_logit -= lr * g_eta * inv_n;
+  }
+
+  SeparableLogisticParams out;
+  out.alpha0 = alpha0;
+  out.alpha1 = use_aux ? alpha1 : 0.0;
+  out.beta1 = beta1;
+  out.eta = Sigmoid(eta_logit);
+  return out;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,57 @@
+#include "core/losses.h"
+
+#include "tensor/ops.h"
+
+namespace dtrec {
+
+ag::Var DisentangleLoss(const DisentangledGraph& graph) {
+  // Normalized by the table heights so the β weight is dataset-size
+  // independent: the raw ‖P′ᵀP″‖_F² grows linearly with |U| at fixed
+  // embedding statistics, which would make any fixed β either inert on
+  // small datasets or crushing on large ones (the paper re-tunes β per
+  // dataset; we normalize instead — see DESIGN.md §5).
+  const double inv_users =
+      1.0 / static_cast<double>(graph.p_primary.value().rows());
+  const double inv_items =
+      1.0 / static_cast<double>(graph.q_primary.value().rows());
+  ag::Var user_term = ag::FrobeniusSq(
+      ag::MatMul(ag::Transpose(graph.p_primary), graph.p_auxiliary));
+  ag::Var item_term = ag::FrobeniusSq(
+      ag::MatMul(ag::Transpose(graph.q_primary), graph.q_auxiliary));
+  return ag::Add(ag::Scale(user_term, inv_users),
+                 ag::Scale(item_term, inv_items));
+}
+
+ag::Var RegularizationLoss(const DisentangledGraph& graph) {
+  // ‖P′Q′ᵀ‖_F² / (|U|·|I|) is the mean squared rating logit over the full
+  // matrix — normalization keeps γ scale-free (same rationale as above).
+  const double inv_cells =
+      1.0 / (static_cast<double>(graph.p_primary.value().rows()) *
+             static_cast<double>(graph.q_primary.value().rows()));
+  ag::Var primary = ag::GramFrobeniusSq(graph.p_primary, graph.q_primary);
+  ag::Var auxiliary =
+      ag::GramFrobeniusSq(graph.p_auxiliary, graph.q_auxiliary);
+  return ag::Scale(ag::Add(primary, auxiliary), inv_cells);
+}
+
+double RegularizationLossNaive(const DisentangledEmbeddings& emb) {
+  return MatMulTransB(emb.p_primary, emb.q_primary).FrobeniusNormSquared() +
+         MatMulTransB(emb.p_auxiliary, emb.q_auxiliary)
+             .FrobeniusNormSquared();
+}
+
+double RegularizationLossGram(const DisentangledEmbeddings& emb) {
+  auto gram_trace = [](const Matrix& a, const Matrix& b) {
+    const Matrix ga = MatMulTransA(a, a);
+    const Matrix gb = MatMulTransA(b, b);
+    double trace = 0.0;
+    for (size_t i = 0; i < ga.rows(); ++i) {
+      for (size_t j = 0; j < ga.cols(); ++j) trace += ga(i, j) * gb(j, i);
+    }
+    return trace;
+  };
+  return gram_trace(emb.p_primary, emb.q_primary) +
+         gram_trace(emb.p_auxiliary, emb.q_auxiliary);
+}
+
+}  // namespace dtrec

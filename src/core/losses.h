@@ -1,0 +1,34 @@
+#ifndef DTREC_CORE_LOSSES_H_
+#define DTREC_CORE_LOSSES_H_
+
+#include "autograd/ops.h"
+#include "core/disentangled_embeddings.h"
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+/// Disentangling loss of Section IV-B:
+///   ‖P′ᵀP″‖_F² + ‖Q′ᵀQ″‖_F²
+/// The outer product is used (rather than inner product / cosine) because
+/// the two blocks have different widths when A ≠ K/2; driving every
+/// cross-element product to zero enforces independence of the primary and
+/// auxiliary representations (Assumption 1(i)).
+ag::Var DisentangleLoss(const DisentangledGraph& graph);
+
+/// Regularization loss of Section IV-B:
+///   ‖P′Q′ᵀ‖_F² + ‖P″Q″ᵀ‖_F²
+/// computed with the Gram identity ‖ABᵀ‖_F² = tr((AᵀA)(BᵀB)) so the
+/// |U|×|I| product is never materialized (see GramFrobeniusSq).
+ag::Var RegularizationLoss(const DisentangledGraph& graph);
+
+/// Value-only naive evaluation of the regularization loss that DOES
+/// materialize the |U|×|I| products — the paper's costly formulation,
+/// kept for the efficiency ablation benchmark (Table VI discussion).
+double RegularizationLossNaive(const DisentangledEmbeddings& emb);
+
+/// Value-only Gram-trick evaluation (must equal the naive one).
+double RegularizationLossGram(const DisentangledEmbeddings& emb);
+
+}  // namespace dtrec
+
+#endif  // DTREC_CORE_LOSSES_H_

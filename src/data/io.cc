@@ -1,0 +1,133 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace dtrec {
+namespace {
+
+Status ParseRow(const std::string& line, size_t line_number,
+                RatingTriple* out) {
+  const std::vector<std::string> fields = Split(line, ',');
+  if (fields.size() != 3) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: expected 3 fields, got %zu", line_number,
+                  fields.size()));
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long user = std::strtoul(fields[0].c_str(), &end, 10);
+  if (end == fields[0].c_str() || *end != '\0' || errno != 0) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: bad user id '%s'", line_number,
+                  fields[0].c_str()));
+  }
+  errno = 0;
+  const unsigned long item = std::strtoul(fields[1].c_str(), &end, 10);
+  if (end == fields[1].c_str() || *end != '\0' || errno != 0) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: bad item id '%s'", line_number,
+                  fields[1].c_str()));
+  }
+  const double rating = std::strtod(fields[2].c_str(), &end);
+  if (end == fields[2].c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: bad rating '%s'", line_number,
+                  fields[2].c_str()));
+  }
+  out->user = static_cast<uint32_t>(user);
+  out->item = static_cast<uint32_t>(item);
+  out->rating = rating;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteRatingsCsv(const std::vector<RatingTriple>& triples,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "user,item,rating\n";
+  for (const auto& t : triples) {
+    out << t.user << ',' << t.item << ',' << StrFormat("%.17g", t.rating)
+        << '\n';
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<RatingTriple>> ReadRatingsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      StripWhitespace(line) != "user,item,rating") {
+    return Status::InvalidArgument(
+        "missing 'user,item,rating' header in " + path);
+  }
+  std::vector<RatingTriple> triples;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    RatingTriple triple;
+    DTREC_RETURN_IF_ERROR(ParseRow(line, line_number, &triple));
+    triples.push_back(triple);
+  }
+  return triples;
+}
+
+Status SaveDataset(const RatingDataset& dataset, const std::string& prefix) {
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  {
+    std::ofstream meta(prefix + ".meta");
+    if (!meta.is_open()) {
+      return Status::InvalidArgument("cannot open for writing: " + prefix +
+                                     ".meta");
+    }
+    meta << dataset.num_users() << ',' << dataset.num_items() << '\n';
+    if (!meta.good()) return Status::Internal("meta write failed");
+  }
+  DTREC_RETURN_IF_ERROR(
+      WriteRatingsCsv(dataset.train(), prefix + ".train.csv"));
+  return WriteRatingsCsv(dataset.test(), prefix + ".test.csv");
+}
+
+Result<RatingDataset> LoadDataset(const std::string& prefix) {
+  std::ifstream meta(prefix + ".meta");
+  if (!meta.is_open()) {
+    return Status::NotFound("cannot open: " + prefix + ".meta");
+  }
+  std::string line;
+  if (!std::getline(meta, line)) {
+    return Status::InvalidArgument("empty meta file");
+  }
+  const std::vector<std::string> dims = Split(std::string(
+      StripWhitespace(line)), ',');
+  if (dims.size() != 2) {
+    return Status::InvalidArgument("meta must be 'num_users,num_items'");
+  }
+  const size_t num_users = std::strtoul(dims[0].c_str(), nullptr, 10);
+  const size_t num_items = std::strtoul(dims[1].c_str(), nullptr, 10);
+
+  auto train = ReadRatingsCsv(prefix + ".train.csv");
+  if (!train.ok()) return train.status();
+  auto test = ReadRatingsCsv(prefix + ".test.csv");
+  if (!test.ok()) return test.status();
+
+  RatingDataset dataset(num_users, num_items);
+  *dataset.mutable_train() = std::move(train).value();
+  *dataset.mutable_test() = std::move(test).value();
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,31 @@
+#ifndef DTREC_DATA_IO_H_
+#define DTREC_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/rating_dataset.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Persists rating triples as CSV with a "user,item,rating" header.
+Status WriteRatingsCsv(const std::vector<RatingTriple>& triples,
+                       const std::string& path);
+
+/// Parses a ratings CSV produced by WriteRatingsCsv (or hand-made with the
+/// same header). Rejects malformed rows with a line-numbered error.
+Result<std::vector<RatingTriple>> ReadRatingsCsv(const std::string& path);
+
+/// Saves a dataset as three files: <prefix>.meta (dimensions),
+/// <prefix>.train.csv, <prefix>.test.csv. This is the interchange format
+/// for plugging real data (Coat/Yahoo/KuaiRec exports) into the trainers —
+/// convert the raw download to these CSVs and call LoadDataset.
+Status SaveDataset(const RatingDataset& dataset, const std::string& prefix);
+
+/// Loads a dataset saved by SaveDataset and validates it.
+Result<RatingDataset> LoadDataset(const std::string& prefix);
+
+}  // namespace dtrec
+
+#endif  // DTREC_DATA_IO_H_

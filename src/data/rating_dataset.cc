@@ -1,0 +1,71 @@
+#include "data/rating_dataset.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dtrec {
+
+double RatingDataset::TrainDensity() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(train_.size()) /
+         (static_cast<double>(num_users_) * static_cast<double>(num_items_));
+}
+
+std::vector<size_t> RatingDataset::UserCounts() const {
+  std::vector<size_t> counts(num_users_, 0);
+  for (const auto& t : train_) {
+    if (t.user < num_users_) ++counts[t.user];
+  }
+  return counts;
+}
+
+std::vector<size_t> RatingDataset::ItemCounts() const {
+  std::vector<size_t> counts(num_items_, 0);
+  for (const auto& t : train_) {
+    if (t.item < num_items_) ++counts[t.item];
+  }
+  return counts;
+}
+
+void RatingDataset::BinarizeRatings(double threshold) {
+  for (auto& t : train_) t.rating = t.rating >= threshold ? 1.0 : 0.0;
+  for (auto& t : test_) t.rating = t.rating >= threshold ? 1.0 : 0.0;
+}
+
+Status RatingDataset::Validate() const {
+  if (num_users_ == 0 || num_items_ == 0) {
+    return Status::InvalidArgument("dataset has zero users or items");
+  }
+  if (train_.empty()) {
+    return Status::FailedPrecondition("dataset has no training interactions");
+  }
+  auto check = [&](const std::vector<RatingTriple>& split,
+                   const char* name) -> Status {
+    for (const auto& t : split) {
+      if (t.user >= num_users_) {
+        return Status::OutOfRange(StrFormat("%s user id %u >= num_users %zu",
+                                            name, t.user, num_users_));
+      }
+      if (t.item >= num_items_) {
+        return Status::OutOfRange(StrFormat("%s item id %u >= num_items %zu",
+                                            name, t.item, num_items_));
+      }
+      if (!std::isfinite(t.rating)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s rating for (%u,%u) is not finite", name, t.user, t.item));
+      }
+    }
+    return Status::OK();
+  };
+  DTREC_RETURN_IF_ERROR(check(train_, "train"));
+  DTREC_RETURN_IF_ERROR(check(test_, "test"));
+  return Status::OK();
+}
+
+std::string RatingDataset::DebugString() const {
+  return StrFormat("RatingDataset(users=%zu, items=%zu, train=%zu, test=%zu)",
+                   num_users_, num_items_, train_.size(), test_.size());
+}
+
+}  // namespace dtrec

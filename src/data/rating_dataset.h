@@ -1,0 +1,74 @@
+#ifndef DTREC_DATA_RATING_DATASET_H_
+#define DTREC_DATA_RATING_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtrec {
+
+/// One (user, item, rating) interaction. Ratings are doubles so the same
+/// struct carries 5-star ratings, binarized conversions, and watch ratios.
+struct RatingTriple {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  double rating = 0.0;
+};
+
+/// A rating-prediction dataset under selection bias.
+///
+/// `train` holds the *observed* (o=1) interactions, which are MNAR in every
+/// simulated real-world dataset; `test` holds unbiased (MCAR) interactions
+/// used only for evaluation — mirroring Coat/Yahoo/KuaiRec, where a random
+/// or exhaustive slice exists purely for testing.
+class RatingDataset {
+ public:
+  RatingDataset() = default;
+  RatingDataset(size_t num_users, size_t num_items)
+      : num_users_(num_users), num_items_(num_items) {}
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+
+  const std::vector<RatingTriple>& train() const { return train_; }
+  const std::vector<RatingTriple>& test() const { return test_; }
+  std::vector<RatingTriple>* mutable_train() { return &train_; }
+  std::vector<RatingTriple>* mutable_test() { return &test_; }
+
+  void AddTrain(uint32_t user, uint32_t item, double rating) {
+    train_.push_back({user, item, rating});
+  }
+  void AddTest(uint32_t user, uint32_t item, double rating) {
+    test_.push_back({user, item, rating});
+  }
+
+  /// Fraction of the full user-item matrix that is observed in train.
+  double TrainDensity() const;
+
+  /// Number of train interactions per user / per item (index = id).
+  std::vector<size_t> UserCounts() const;
+  std::vector<size_t> ItemCounts() const;
+
+  /// Clips ratings to {0,1}: rating >= threshold -> 1 else 0, applied to
+  /// both splits — the paper's preprocessing for Coat/Yahoo (threshold 3)
+  /// and KuaiRec (threshold 1).
+  void BinarizeRatings(double threshold);
+
+  /// Structural validation: ids in range, non-empty splits, finite ratings.
+  Status Validate() const;
+
+  /// e.g. "RatingDataset(users=290, items=300, train=6960, test=4640)".
+  std::string DebugString() const;
+
+ private:
+  size_t num_users_ = 0;
+  size_t num_items_ = 0;
+  std::vector<RatingTriple> train_;
+  std::vector<RatingTriple> test_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_DATA_RATING_DATASET_H_

@@ -1,0 +1,112 @@
+#include "data/samplers.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dtrec {
+namespace {
+
+uint64_t CellKey(size_t user, size_t item, size_t num_items) {
+  return static_cast<uint64_t>(user) * static_cast<uint64_t>(num_items) +
+         static_cast<uint64_t>(item);
+}
+
+}  // namespace
+
+ObservedBatchSampler::ObservedBatchSampler(const RatingDataset& dataset,
+                                           size_t batch_size, uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), rng_(seed) {
+  DTREC_CHECK_GT(batch_size, 0u);
+  order_.resize(dataset.train().size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  NewEpoch();
+}
+
+bool ObservedBatchSampler::NextBatch(Batch* batch) {
+  DTREC_CHECK(batch != nullptr);
+  batch->users.clear();
+  batch->items.clear();
+  if (cursor_ >= order_.size()) return false;
+  const size_t count = std::min(batch_size_, order_.size() - cursor_);
+  batch->users.reserve(count);
+  batch->items.reserve(count);
+  batch->ratings = Matrix(count, 1);
+  batch->observed = Matrix(count, 1, 1.0);
+  for (size_t i = 0; i < count; ++i) {
+    const RatingTriple& t = dataset_.train()[order_[cursor_ + i]];
+    batch->users.push_back(t.user);
+    batch->items.push_back(t.item);
+    batch->ratings(i, 0) = t.rating;
+  }
+  cursor_ += count;
+  return true;
+}
+
+void ObservedBatchSampler::NewEpoch() {
+  rng_.Shuffle(&order_);
+  cursor_ = 0;
+}
+
+size_t ObservedBatchSampler::batches_per_epoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+FullMatrixBatchSampler::FullMatrixBatchSampler(const RatingDataset& dataset,
+                                               uint64_t seed)
+    : num_users_(dataset.num_users()),
+      num_items_(dataset.num_items()),
+      rng_(seed) {
+  DTREC_CHECK_GT(num_users_, 0u);
+  DTREC_CHECK_GT(num_items_, 0u);
+  observed_.reserve(dataset.train().size() * 2);
+  for (const auto& t : dataset.train()) {
+    observed_[CellKey(t.user, t.item, num_items_)] = t.rating;
+  }
+}
+
+Batch FullMatrixBatchSampler::Sample(size_t batch_size) {
+  Batch batch;
+  batch.users.reserve(batch_size);
+  batch.items.reserve(batch_size);
+  batch.ratings = Matrix(batch_size, 1);
+  batch.observed = Matrix(batch_size, 1);
+  for (size_t i = 0; i < batch_size; ++i) {
+    const size_t u = rng_.UniformIndex(num_users_);
+    const size_t it = rng_.UniformIndex(num_items_);
+    batch.users.push_back(u);
+    batch.items.push_back(it);
+    double rating = 0.0;
+    if (Lookup(u, it, &rating)) {
+      batch.ratings(i, 0) = rating;
+      batch.observed(i, 0) = 1.0;
+    }
+  }
+  return batch;
+}
+
+bool FullMatrixBatchSampler::Lookup(size_t user, size_t item,
+                                    double* rating) const {
+  auto it = observed_.find(CellKey(user, item, num_items_));
+  if (it == observed_.end()) return false;
+  if (rating != nullptr) *rating = it->second;
+  return true;
+}
+
+Batch MakeFullObservedBatch(const RatingDataset& dataset) {
+  Batch batch;
+  const size_t n = dataset.train().size();
+  batch.users.reserve(n);
+  batch.items.reserve(n);
+  batch.ratings = Matrix(n, 1);
+  batch.observed = Matrix(n, 1, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const RatingTriple& t = dataset.train()[i];
+    batch.users.push_back(t.user);
+    batch.items.push_back(t.item);
+    batch.ratings(i, 0) = t.rating;
+  }
+  return batch;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,77 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+std::pair<std::vector<RatingTriple>, std::vector<RatingTriple>> RandomSplit(
+    const std::vector<RatingTriple>& triples, double first_fraction,
+    Rng* rng) {
+  DTREC_CHECK(rng != nullptr);
+  DTREC_CHECK_GE(first_fraction, 0.0);
+  DTREC_CHECK_LE(first_fraction, 1.0);
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  const size_t first_count = static_cast<size_t>(
+      first_fraction * static_cast<double>(triples.size()));
+  std::vector<RatingTriple> first, second;
+  first.reserve(first_count);
+  second.reserve(triples.size() - first_count);
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < first_count ? first : second).push_back(triples[order[i]]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+std::pair<std::vector<RatingTriple>, std::vector<RatingTriple>>
+PerUserHoldout(const std::vector<RatingTriple>& triples, size_t num_users,
+               size_t holdout_per_user, Rng* rng) {
+  DTREC_CHECK(rng != nullptr);
+  // Bucket interaction indices by user.
+  std::vector<std::vector<size_t>> by_user(num_users);
+  for (size_t i = 0; i < triples.size(); ++i) {
+    DTREC_CHECK_LT(triples[i].user, num_users);
+    by_user[triples[i].user].push_back(i);
+  }
+  std::vector<RatingTriple> kept, held;
+  kept.reserve(triples.size());
+  for (auto& indices : by_user) {
+    if (indices.size() > holdout_per_user) {
+      rng->Shuffle(&indices);
+      for (size_t i = 0; i < indices.size(); ++i) {
+        (i < holdout_per_user ? held : kept).push_back(triples[indices[i]]);
+      }
+    } else {
+      for (size_t idx : indices) kept.push_back(triples[idx]);
+    }
+  }
+  return {std::move(kept), std::move(held)};
+}
+
+Result<RatingDataset> MakeValidationSplit(const RatingDataset& dataset,
+                                          double validation_fraction,
+                                          Rng* rng) {
+  if (validation_fraction <= 0.0 || validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "validation_fraction must be strictly inside (0, 1)");
+  }
+  if (dataset.train().size() < 10) {
+    return Status::FailedPrecondition(
+        "train split too small to carve a validation set");
+  }
+  auto [train_part, valid_part] =
+      RandomSplit(dataset.train(), 1.0 - validation_fraction, rng);
+  if (valid_part.empty()) {
+    return Status::FailedPrecondition("validation split came out empty");
+  }
+  RatingDataset out(dataset.num_users(), dataset.num_items());
+  *out.mutable_train() = std::move(train_part);
+  *out.mutable_test() = std::move(valid_part);
+  return out;
+}
+
+}  // namespace dtrec

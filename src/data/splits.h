@@ -1,0 +1,36 @@
+#ifndef DTREC_DATA_SPLITS_H_
+#define DTREC_DATA_SPLITS_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/rating_dataset.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+class Rng;
+
+/// Randomly partitions `triples` into (first, second) with `first_fraction`
+/// of the entries going to the first part. Deterministic given `rng`.
+std::pair<std::vector<RatingTriple>, std::vector<RatingTriple>> RandomSplit(
+    const std::vector<RatingTriple>& triples, double first_fraction,
+    Rng* rng);
+
+/// Holds out `holdout_per_user` interactions of each user from `triples`
+/// into the second part (users with fewer interactions contribute all of
+/// them to the first part). Used for per-user validation splits.
+std::pair<std::vector<RatingTriple>, std::vector<RatingTriple>>
+PerUserHoldout(const std::vector<RatingTriple>& triples, size_t num_users,
+               size_t holdout_per_user, Rng* rng);
+
+/// Carves a validation set out of `dataset.train()` (never touching the
+/// unbiased test split), returning a new dataset whose test() is the
+/// validation part. Fails if the train split is too small to cut.
+Result<RatingDataset> MakeValidationSplit(const RatingDataset& dataset,
+                                          double validation_fraction,
+                                          Rng* rng);
+
+}  // namespace dtrec
+
+#endif  // DTREC_DATA_SPLITS_H_

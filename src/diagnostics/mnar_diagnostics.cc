@@ -1,0 +1,79 @@
+#include "diagnostics/mnar_diagnostics.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dtrec {
+namespace {
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+Result<TwoProportionResult> TwoProportionZTest(double successes1, double n1,
+                                               double successes2,
+                                               double n2) {
+  if (n1 <= 0.0 || n2 <= 0.0) {
+    return Status::InvalidArgument("sample sizes must be positive");
+  }
+  if (successes1 < 0.0 || successes1 > n1 || successes2 < 0.0 ||
+      successes2 > n2) {
+    return Status::InvalidArgument("success counts out of range");
+  }
+  TwoProportionResult result;
+  result.p1 = successes1 / n1;
+  result.p2 = successes2 / n2;
+  const double pooled = (successes1 + successes2) / (n1 + n2);
+  const double variance = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+  if (variance <= 0.0) {
+    return Status::FailedPrecondition(
+        "degenerate pooled proportion (all successes or all failures)");
+  }
+  result.z = (result.p1 - result.p2) / std::sqrt(variance);
+  result.p_value = 2.0 * (1.0 - StdNormalCdf(std::fabs(result.z)));
+  return result;
+}
+
+std::string MnarDiagnosis::Summary() const {
+  const char* verdict =
+      selection_bias_detected ? "SELECTION BIAS" : "no significant bias";
+  return StrFormat(
+      "%s: observed positives %.1f%% vs unbiased %.1f%% (z=%.2f, p=%.4g)",
+      verdict, 100.0 * observed_positive_rate,
+      100.0 * unbiased_positive_rate, z, p_value);
+}
+
+Result<MnarDiagnosis> DiagnoseSelectionBias(const RatingDataset& dataset,
+                                            double alpha) {
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.test().empty()) {
+    return Status::FailedPrecondition(
+        "diagnosis needs an unbiased test slice");
+  }
+  for (const auto& t : dataset.train()) {
+    if (t.rating != 0.0 && t.rating != 1.0) {
+      return Status::InvalidArgument(
+          "diagnosis requires binarized ratings");
+    }
+  }
+  double train_pos = 0.0;
+  for (const auto& t : dataset.train()) train_pos += t.rating;
+  double test_pos = 0.0;
+  for (const auto& t : dataset.test()) test_pos += t.rating >= 0.5 ? 1 : 0;
+
+  auto test = TwoProportionZTest(
+      train_pos, static_cast<double>(dataset.train().size()), test_pos,
+      static_cast<double>(dataset.test().size()));
+  if (!test.ok()) return test.status();
+
+  MnarDiagnosis diagnosis;
+  diagnosis.observed_positive_rate = test.value().p1;
+  diagnosis.unbiased_positive_rate = test.value().p2;
+  diagnosis.z = test.value().z;
+  diagnosis.p_value = test.value().p_value;
+  diagnosis.selection_bias_detected = test.value().p_value <= alpha;
+  return diagnosis;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,51 @@
+#ifndef DTREC_DIAGNOSTICS_MNAR_DIAGNOSTICS_H_
+#define DTREC_DIAGNOSTICS_MNAR_DIAGNOSTICS_H_
+
+#include <string>
+
+#include "data/rating_dataset.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Two-proportion z-test: H0: p1 == p2 against a two-sided alternative,
+/// with pooled variance. Inputs are success counts and sample sizes.
+struct TwoProportionResult {
+  double p1 = 0.0;
+  double p2 = 0.0;
+  double z = 0.0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+Result<TwoProportionResult> TwoProportionZTest(double successes1, double n1,
+                                               double successes2, double n2);
+
+/// Data-driven MNAR diagnosis (Section III's practical question: "is my
+/// logged data MNAR?").
+///
+/// Compares the positive-rating rate among *observed* (biased train)
+/// interactions against the rate in the *unbiased* (MCAR test) slice. If
+/// observation were independent of the rating given nothing (MCAR) — or
+/// if the user/item features driving observation were uninformative about
+/// the rating — the two rates would match; a significant gap is direct
+/// evidence that the selection mechanism is coupled to the rating, i.e.
+/// the MAR propensity is insufficient and methods like DT-IPS/DT-DR are
+/// warranted. Requires binarized ratings and a non-empty test slice.
+struct MnarDiagnosis {
+  double observed_positive_rate = 0.0;   ///< P(r=1 | o=1), train
+  double unbiased_positive_rate = 0.0;   ///< P(r=1), MCAR slice
+  double z = 0.0;
+  double p_value = 1.0;
+  bool selection_bias_detected = false;  ///< p <= alpha
+
+  /// Human-readable verdict, e.g. "SELECTION BIAS: observed positives
+  /// 62.1% vs unbiased 40.3% (z=21.4, p<0.001)".
+  std::string Summary() const;
+};
+
+Result<MnarDiagnosis> DiagnoseSelectionBias(const RatingDataset& dataset,
+                                            double alpha = 0.05);
+
+}  // namespace dtrec
+
+#endif  // DTREC_DIAGNOSTICS_MNAR_DIAGNOSTICS_H_

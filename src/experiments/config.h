@@ -1,0 +1,40 @@
+#ifndef DTREC_EXPERIMENTS_CONFIG_H_
+#define DTREC_EXPERIMENTS_CONFIG_H_
+
+#include <map>
+#include <string>
+
+#include "baselines/trainer_base.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// The simulated dataset families of the real-world experiments.
+enum class DatasetKind { kCoat, kYahoo, kKuaiRec };
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// Per-dataset tuned defaults (learning rate, batch size, embedding dim,
+/// epochs, ranking cutoff K) mirroring the paper's tuning grids: small
+/// batches for Coat, large batches for Yahoo/KuaiRec, K=5 vs K=50.
+struct DatasetProfile {
+  TrainConfig train;
+  size_t ranking_k = 5;
+  double dataset_scale = 0.1;  ///< Yahoo/KuaiRec size knob
+};
+
+DatasetProfile DefaultProfile(DatasetKind kind);
+
+/// Method-specific tweak of a base config (e.g. DT's β/γ defaults, ESCM²'s
+/// λ weights). Keeps every benchmark binary using one tuning source.
+TrainConfig TuneForMethod(const std::string& method, TrainConfig base);
+
+/// Parses "key=value" command-line overrides into a profile. Recognized
+/// keys: epochs, batch_size, lr, dim, seeds (ignored here but validated),
+/// scale, k. Unknown keys yield InvalidArgument.
+Status ApplyOverride(const std::string& key, const std::string& value,
+                     DatasetProfile* profile);
+
+}  // namespace dtrec
+
+#endif  // DTREC_EXPERIMENTS_CONFIG_H_

@@ -1,0 +1,50 @@
+#include "experiments/evaluator.h"
+
+#include <algorithm>
+
+#include "metrics/pointwise.h"
+#include "util/stopwatch.h"
+
+namespace dtrec {
+
+RankingMetrics EvaluateRanking(const RecommenderTrainer& trainer,
+                               const RatingDataset& dataset, size_t k) {
+  const std::vector<double> predictions =
+      trainer.PredictMany(dataset.test());
+  return ComputeRankingMetrics(dataset.test(), predictions, k);
+}
+
+SemiSyntheticMetrics EvaluateSemiSynthetic(const RecommenderTrainer& trainer,
+                                           const SemiSyntheticData& data) {
+  SemiSyntheticMetrics out;
+  const Matrix predictions = trainer.PredictFullMatrix(
+      data.eta.rows(), data.eta.cols());
+  out.mse = MeanSquaredError(predictions, data.eta);
+  out.mae = MeanAbsoluteError(predictions, data.eta);
+
+  const std::vector<double> test_predictions =
+      trainer.PredictMany(data.dataset.test());
+  const RankingMetrics ranking =
+      ComputeRankingMetrics(data.dataset.test(), test_predictions, 50);
+  out.ndcg_at_50 = ranking.ndcg_at_k;
+  return out;
+}
+
+double MeasureInferenceMillisPerSample(const RecommenderTrainer& trainer,
+                                       const RatingDataset& dataset,
+                                       size_t max_samples) {
+  const size_t n = std::min(dataset.test().size(), max_samples);
+  if (n == 0) return 0.0;
+  Stopwatch watch;
+  double checksum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const RatingTriple& t = dataset.test()[i];
+    checksum += trainer.Predict(t.user, t.item);
+  }
+  const double elapsed_ms = watch.ElapsedMillis();
+  // Keep the loop from being optimized out.
+  if (checksum < -1.0) return -1.0;
+  return elapsed_ms / static_cast<double>(n);
+}
+
+}  // namespace dtrec

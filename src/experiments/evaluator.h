@@ -1,0 +1,36 @@
+#ifndef DTREC_EXPERIMENTS_EVALUATOR_H_
+#define DTREC_EXPERIMENTS_EVALUATOR_H_
+
+#include "baselines/trainer_base.h"
+#include "metrics/ranking.h"
+#include "synth/movielens_like.h"
+
+namespace dtrec {
+
+/// Ranking evaluation on the unbiased test split (paper Table IV
+/// protocol): AUC global, NDCG@K and Recall@K per user.
+RankingMetrics EvaluateRanking(const RecommenderTrainer& trainer,
+                               const RatingDataset& dataset, size_t k);
+
+/// Pointwise + ranking evaluation for the semi-synthetic pipeline
+/// (Table III / Figure 3): MSE and MAE of the predicted conversion
+/// probabilities against the true η over all cells, NDCG@50 on the test
+/// users' realized conversions.
+struct SemiSyntheticMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double ndcg_at_50 = 0.0;
+};
+
+SemiSyntheticMetrics EvaluateSemiSynthetic(const RecommenderTrainer& trainer,
+                                           const SemiSyntheticData& data);
+
+/// Average per-sample inference latency over the test split, in
+/// milliseconds (paper Table VI's inference column).
+double MeasureInferenceMillisPerSample(const RecommenderTrainer& trainer,
+                                       const RatingDataset& dataset,
+                                       size_t max_samples = 20000);
+
+}  // namespace dtrec
+
+#endif  // DTREC_EXPERIMENTS_EVALUATOR_H_

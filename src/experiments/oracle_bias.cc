@@ -1,0 +1,91 @@
+#include "experiments/oracle_bias.h"
+
+#include <cmath>
+
+#include "metrics/stats.h"
+#include "synth/mnar_generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+double IdealLoss(const Matrix& errors) {
+  DTREC_CHECK(!errors.empty());
+  return errors.Mean();
+}
+
+double NaiveEstimate(const Matrix& errors, const Matrix& observed) {
+  DTREC_CHECK_EQ(errors.size(), observed.size());
+  double total = 0.0, count = 0.0;
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (observed.at_flat(i) != 0.0) {
+      total += errors.at_flat(i);
+      count += 1.0;
+    }
+  }
+  return count > 0.0 ? total / count : 0.0;
+}
+
+double IpsEstimate(const Matrix& errors, const Matrix& observed,
+                   const Matrix& propensity) {
+  DTREC_CHECK_EQ(errors.size(), observed.size());
+  DTREC_CHECK_EQ(errors.size(), propensity.size());
+  double total = 0.0;
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (observed.at_flat(i) != 0.0) {
+      total += errors.at_flat(i) / propensity.at_flat(i);
+    }
+  }
+  return total / static_cast<double>(errors.size());
+}
+
+double DrEstimate(const Matrix& errors, const Matrix& imputed,
+                  const Matrix& observed, const Matrix& propensity) {
+  DTREC_CHECK_EQ(errors.size(), imputed.size());
+  DTREC_CHECK_EQ(errors.size(), observed.size());
+  DTREC_CHECK_EQ(errors.size(), propensity.size());
+  double total = 0.0;
+  for (size_t i = 0; i < errors.size(); ++i) {
+    total += imputed.at_flat(i);
+    if (observed.at_flat(i) != 0.0) {
+      total += (errors.at_flat(i) - imputed.at_flat(i)) /
+               propensity.at_flat(i);
+    }
+  }
+  return total / static_cast<double>(errors.size());
+}
+
+BiasReport MonteCarloBias(EstimatorKind kind, const Matrix& errors,
+                          const Matrix& imputed,
+                          const Matrix& true_propensity,
+                          const Matrix& weighting_propensity, size_t trials,
+                          Rng* rng) {
+  DTREC_CHECK(rng != nullptr);
+  DTREC_CHECK_GT(trials, 0u);
+  RunningStat stat;
+  for (size_t t = 0; t < trials; ++t) {
+    const Matrix mask = SampleObservationMask(true_propensity, rng);
+    double estimate = 0.0;
+    switch (kind) {
+      case EstimatorKind::kNaive:
+        estimate = NaiveEstimate(errors, mask);
+        break;
+      case EstimatorKind::kIps:
+        estimate = IpsEstimate(errors, mask, weighting_propensity);
+        break;
+      case EstimatorKind::kDr:
+        estimate = DrEstimate(errors, imputed, mask, weighting_propensity);
+        break;
+    }
+    stat.Add(estimate);
+  }
+  BiasReport report;
+  report.mean_estimate = stat.mean();
+  report.ideal = IdealLoss(errors);
+  report.bias = report.mean_estimate - report.ideal;
+  report.std_error =
+      stat.stddev() / std::sqrt(static_cast<double>(trials));
+  return report;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,51 @@
+#ifndef DTREC_EXPERIMENTS_ORACLE_BIAS_H_
+#define DTREC_EXPERIMENTS_ORACLE_BIAS_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+class Rng;
+
+/// Numeric machinery behind the paper's Table I and Lemmas 1–2: evaluates
+/// the Naive / IPS / DR estimators against the ideal loss on a fully-known
+/// world, with *oracle* propensities, so the remaining error is exactly
+/// the estimator's structural bias.
+
+/// Ideal loss (Eq. 1): mean of errors over every cell.
+double IdealLoss(const Matrix& errors);
+
+/// Naive estimator (Eq. 2): mean of errors over observed cells. Returns 0
+/// when nothing is observed.
+double NaiveEstimate(const Matrix& errors, const Matrix& observed);
+
+/// IPS estimator (Eq. 3) with per-cell propensities.
+double IpsEstimate(const Matrix& errors, const Matrix& observed,
+                   const Matrix& propensity);
+
+/// DR estimator (Eq. 4) with per-cell propensities and imputed errors.
+double DrEstimate(const Matrix& errors, const Matrix& imputed,
+                  const Matrix& observed, const Matrix& propensity);
+
+/// Monte-Carlo bias of an estimator: draws `trials` observation masks from
+/// `true_propensity`, averages the estimates, subtracts the ideal loss.
+struct BiasReport {
+  double mean_estimate = 0.0;
+  double ideal = 0.0;
+  double bias = 0.0;          ///< mean_estimate − ideal
+  double std_error = 0.0;     ///< of the mean estimate
+};
+
+enum class EstimatorKind { kNaive, kIps, kDr };
+
+BiasReport MonteCarloBias(EstimatorKind kind, const Matrix& errors,
+                          const Matrix& imputed,
+                          const Matrix& true_propensity,
+                          const Matrix& weighting_propensity, size_t trials,
+                          Rng* rng);
+
+}  // namespace dtrec
+
+#endif  // DTREC_EXPERIMENTS_ORACLE_BIAS_H_

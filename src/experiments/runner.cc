@@ -1,0 +1,107 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+
+#include "baselines/registry.h"
+#include "metrics/ttest.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace dtrec {
+
+std::vector<MethodResult> RunComparison(
+    const std::vector<std::string>& methods, const DatasetFactory& factory,
+    const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
+    bool quiet) {
+  DTREC_CHECK(!seeds.empty());
+
+  // Materialize one dataset per seed up front so every method sees the
+  // exact same realizations (required for paired t-tests).
+  std::vector<RatingDataset> datasets;
+  datasets.reserve(seeds.size());
+  for (uint64_t seed : seeds) datasets.push_back(factory(seed));
+
+  std::vector<MethodResult> results;
+  for (const std::string& method : methods) {
+    MethodResult res;
+    res.method = method;
+    std::vector<double> aucs, ndcgs, recalls, train_times, infer_times;
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      TrainConfig tc = TuneForMethod(method, profile.train);
+      tc.seed = seeds[s] * 7919 + 13;
+      auto trainer_or = MakeTrainer(method, tc);
+      DTREC_CHECK(trainer_or.ok()) << trainer_or.status();
+      auto trainer = std::move(trainer_or).value();
+
+      Stopwatch watch;
+      const Status st = trainer->Fit(datasets[s]);
+      DTREC_CHECK(st.ok()) << method << ": " << st.ToString();
+      train_times.push_back(watch.ElapsedSeconds());
+
+      const RankingMetrics metrics =
+          EvaluateRanking(*trainer, datasets[s], profile.ranking_k);
+      aucs.push_back(metrics.auc);
+      ndcgs.push_back(metrics.ndcg_at_k);
+      recalls.push_back(metrics.recall_at_k);
+      infer_times.push_back(
+          MeasureInferenceMillisPerSample(*trainer, datasets[s]));
+      res.parameters = trainer->NumParameters();
+      if (!quiet) {
+        DTREC_LOG(INFO) << method << " seed " << seeds[s]
+                        << " auc=" << FormatDouble(metrics.auc, 4)
+                        << " n@k=" << FormatDouble(metrics.ndcg_at_k, 4);
+      }
+    }
+    res.auc = ComputeMeanStd(aucs);
+    res.ndcg = ComputeMeanStd(ndcgs);
+    res.recall = ComputeMeanStd(recalls);
+    res.auc_samples = aucs;
+    res.train_seconds = ComputeMeanStd(train_times).mean;
+    res.inference_ms = ComputeMeanStd(infer_times).mean;
+    results.push_back(std::move(res));
+  }
+
+  // Paired t-test of each proposed method against the best baseline AUC.
+  const MethodResult* best_baseline = nullptr;
+  for (const auto& res : results) {
+    if (StartsWith(res.method, "DT-")) continue;
+    if (best_baseline == nullptr ||
+        res.auc.mean > best_baseline->auc.mean) {
+      best_baseline = &res;
+    }
+  }
+  if (best_baseline != nullptr && seeds.size() >= 2) {
+    for (auto& res : results) {
+      if (!StartsWith(res.method, "DT-")) continue;
+      auto test =
+          PairedTTest(res.auc_samples, best_baseline->auc_samples);
+      if (test.ok()) {
+        res.significant_vs_best_baseline =
+            test.value().significant() &&
+            res.auc.mean > best_baseline->auc.mean;
+      }
+    }
+  }
+  return results;
+}
+
+TableWriter MakeComparisonTable(const std::string& title, size_t ranking_k,
+                                const std::vector<MethodResult>& results) {
+  TableWriter table(title);
+  table.SetHeader({"Method", "AUC",
+                   StrFormat("N@%zu", ranking_k),
+                   StrFormat("R@%zu", ranking_k), "Params",
+                   "Train(s)", "Infer(ms)"});
+  for (const auto& res : results) {
+    std::string method = res.method;
+    if (res.significant_vs_best_baseline) method += "*";
+    table.AddRow({method, res.auc.ToString(), res.ndcg.ToString(),
+                  res.recall.ToString(), StrFormat("%zu", res.parameters),
+                  FormatDouble(res.train_seconds, 2),
+                  FormatDouble(res.inference_ms, 4)});
+  }
+  return table;
+}
+
+}  // namespace dtrec

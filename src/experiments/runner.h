@@ -1,0 +1,45 @@
+#ifndef DTREC_EXPERIMENTS_RUNNER_H_
+#define DTREC_EXPERIMENTS_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiments/config.h"
+#include "experiments/evaluator.h"
+#include "metrics/stats.h"
+#include "util/table_writer.h"
+
+namespace dtrec {
+
+/// Aggregated result of one method across seeds on one dataset.
+struct MethodResult {
+  std::string method;
+  MeanStd auc, ndcg, recall;
+  std::vector<double> auc_samples;  ///< per-seed values (paired t-tests)
+  double train_seconds = 0.0;       ///< mean wall-clock training time
+  double inference_ms = 0.0;        ///< mean per-sample inference latency
+  size_t parameters = 0;
+  bool significant_vs_best_baseline = false;
+};
+
+/// Builds a fresh dataset realization for a given seed (each seed gets an
+/// independent world + observation realization, so the ± std in the tables
+/// covers both data and training noise, like the paper's repeated runs).
+using DatasetFactory = std::function<RatingDataset(uint64_t seed)>;
+
+/// Trains and evaluates `methods` over `seeds`, computing the paired
+/// t-test of each proposed method ("DT-*") against the best baseline by
+/// AUC. `quiet` suppresses per-run progress logging.
+std::vector<MethodResult> RunComparison(
+    const std::vector<std::string>& methods, const DatasetFactory& factory,
+    const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
+    bool quiet = false);
+
+/// Renders comparison rows in the paper's Table IV layout.
+TableWriter MakeComparisonTable(const std::string& title, size_t ranking_k,
+                                const std::vector<MethodResult>& results);
+
+}  // namespace dtrec
+
+#endif  // DTREC_EXPERIMENTS_RUNNER_H_

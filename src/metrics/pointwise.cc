@@ -1,0 +1,110 @@
+#include "metrics/pointwise.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dtrec {
+
+double MeanSquaredError(const Matrix& prediction, const Matrix& target) {
+  DTREC_CHECK_EQ(prediction.rows(), target.rows());
+  DTREC_CHECK_EQ(prediction.cols(), target.cols());
+  DTREC_CHECK(!prediction.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction.at_flat(i) - target.at_flat(i);
+    total += d * d;
+  }
+  return total / static_cast<double>(prediction.size());
+}
+
+double MeanAbsoluteError(const Matrix& prediction, const Matrix& target) {
+  DTREC_CHECK_EQ(prediction.rows(), target.rows());
+  DTREC_CHECK_EQ(prediction.cols(), target.cols());
+  DTREC_CHECK(!prediction.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    total += std::fabs(prediction.at_flat(i) - target.at_flat(i));
+  }
+  return total / static_cast<double>(prediction.size());
+}
+
+double MaskedMeanSquaredError(const Matrix& prediction, const Matrix& target,
+                              const Matrix& mask) {
+  DTREC_CHECK_EQ(prediction.size(), target.size());
+  DTREC_CHECK_EQ(prediction.size(), mask.size());
+  double total = 0.0;
+  double count = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    if (mask.at_flat(i) == 0.0) continue;
+    const double d = prediction.at_flat(i) - target.at_flat(i);
+    total += d * d;
+    count += 1.0;
+  }
+  DTREC_CHECK_GT(count, 0.0) << "mask selects no cells";
+  return total / count;
+}
+
+double MeanSquaredError(const std::vector<double>& prediction,
+                        const std::vector<double>& target) {
+  DTREC_CHECK_EQ(prediction.size(), target.size());
+  DTREC_CHECK(!prediction.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - target[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(prediction.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& prediction,
+                         const std::vector<double>& target) {
+  DTREC_CHECK_EQ(prediction.size(), target.size());
+  DTREC_CHECK(!prediction.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    total += std::fabs(prediction[i] - target[i]);
+  }
+  return total / static_cast<double>(prediction.size());
+}
+
+double MeanBinaryCrossEntropy(const std::vector<double>& probability,
+                              const std::vector<double>& label) {
+  DTREC_CHECK_EQ(probability.size(), label.size());
+  DTREC_CHECK(!probability.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < probability.size(); ++i) {
+    total += BinaryCrossEntropy(label[i], probability[i]);
+  }
+  return total / static_cast<double>(probability.size());
+}
+
+double ExpectedCalibrationError(const std::vector<double>& probability,
+                                const std::vector<double>& label,
+                                size_t bins) {
+  DTREC_CHECK_EQ(probability.size(), label.size());
+  DTREC_CHECK(!probability.empty());
+  DTREC_CHECK_GT(bins, 0u);
+  std::vector<double> bin_conf(bins, 0.0), bin_acc(bins, 0.0);
+  std::vector<size_t> bin_count(bins, 0);
+  for (size_t i = 0; i < probability.size(); ++i) {
+    const double p = Clamp(probability[i], 0.0, 1.0);
+    size_t b = static_cast<size_t>(p * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;  // p == 1.0 lands in the last bin
+    bin_conf[b] += p;
+    bin_acc[b] += label[i];
+    ++bin_count[b];
+  }
+  double ece = 0.0;
+  const double n = static_cast<double>(probability.size());
+  for (size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    const double count = static_cast<double>(bin_count[b]);
+    ece += (count / n) *
+           std::fabs(bin_acc[b] / count - bin_conf[b] / count);
+  }
+  return ece;
+}
+
+}  // namespace dtrec

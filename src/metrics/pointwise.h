@@ -1,0 +1,41 @@
+#ifndef DTREC_METRICS_POINTWISE_H_
+#define DTREC_METRICS_POINTWISE_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+/// Mean squared error between equal-shape matrices (e.g. predicted
+/// conversion probabilities vs ground-truth η in the semi-synthetic
+/// evaluation of Table III).
+double MeanSquaredError(const Matrix& prediction, const Matrix& target);
+
+/// Mean absolute error between equal-shape matrices.
+double MeanAbsoluteError(const Matrix& prediction, const Matrix& target);
+
+/// MSE restricted to the cells where mask != 0.
+double MaskedMeanSquaredError(const Matrix& prediction, const Matrix& target,
+                              const Matrix& mask);
+
+/// MSE / MAE over aligned vectors.
+double MeanSquaredError(const std::vector<double>& prediction,
+                        const std::vector<double>& target);
+double MeanAbsoluteError(const std::vector<double>& prediction,
+                         const std::vector<double>& target);
+
+/// Mean binary cross entropy of probabilities vs {0,1} labels.
+double MeanBinaryCrossEntropy(const std::vector<double>& probability,
+                              const std::vector<double>& label);
+
+/// Expected calibration error with `bins` equal-width probability bins:
+/// Σ_b (n_b/n)·|acc_b − conf_b|. Probes whether learned propensities are
+/// honest probabilities (supports the identifiability experiments).
+double ExpectedCalibrationError(const std::vector<double>& probability,
+                                const std::vector<double>& label,
+                                size_t bins = 10);
+
+}  // namespace dtrec
+
+#endif  // DTREC_METRICS_POINTWISE_H_

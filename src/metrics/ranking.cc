@@ -1,0 +1,200 @@
+#include "metrics/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dtrec {
+
+double GlobalAuc(const std::vector<double>& score,
+                 const std::vector<double>& label) {
+  DTREC_CHECK_EQ(score.size(), label.size());
+  const size_t n = score.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return score[a] < score[b]; });
+
+  // Average rank per tie group, then the Mann–Whitney U statistic.
+  double rank_sum_pos = 0.0;
+  size_t positives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && score[order[j]] == score[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) /
+                            2.0;  // 1-based ranks i+1..j
+    for (size_t t = i; t < j; ++t) {
+      if (label[order[t]] > 0.5) {
+        rank_sum_pos += avg_rank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const size_t negatives = n - positives;
+  DTREC_CHECK_GT(positives, 0u) << "AUC needs at least one positive";
+  DTREC_CHECK_GT(negatives, 0u) << "AUC needs at least one negative";
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+namespace {
+
+/// Indices of items sorted by score descending (stable for determinism).
+std::vector<size_t> RankOrder(const std::vector<double>& score) {
+  std::vector<size_t> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return score[a] > score[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+double NdcgAtK(const std::vector<double>& score,
+               const std::vector<double>& label, size_t k) {
+  DTREC_CHECK_EQ(score.size(), label.size());
+  size_t positives = 0;
+  for (double l : label) positives += l > 0.5 ? 1 : 0;
+  if (positives == 0) return 0.0;
+
+  const std::vector<size_t> order = RankOrder(score);
+  double dcg = 0.0;
+  const size_t depth = std::min(k, order.size());
+  for (size_t rank = 0; rank < depth; ++rank) {
+    if (label[order[rank]] > 0.5) {
+      dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  const size_t ideal_depth = std::min(k, positives);
+  for (size_t rank = 0; rank < ideal_depth; ++rank) {
+    idcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  }
+  return dcg / idcg;
+}
+
+double RecallAtK(const std::vector<double>& score,
+                 const std::vector<double>& label, size_t k) {
+  DTREC_CHECK_EQ(score.size(), label.size());
+  size_t positives = 0;
+  for (double l : label) positives += l > 0.5 ? 1 : 0;
+  if (positives == 0) return 0.0;
+
+  const std::vector<size_t> order = RankOrder(score);
+  size_t hits = 0;
+  const size_t depth = std::min(k, order.size());
+  for (size_t rank = 0; rank < depth; ++rank) {
+    if (label[order[rank]] > 0.5) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(std::min(k, positives));
+}
+
+double AveragePrecisionAtK(const std::vector<double>& score,
+                           const std::vector<double>& label, size_t k) {
+  DTREC_CHECK_EQ(score.size(), label.size());
+  size_t positives = 0;
+  for (double l : label) positives += l > 0.5 ? 1 : 0;
+  if (positives == 0) return 0.0;
+
+  const std::vector<size_t> order = RankOrder(score);
+  const size_t depth = std::min(k, order.size());
+  double hits = 0.0, precision_sum = 0.0;
+  for (size_t rank = 0; rank < depth; ++rank) {
+    if (label[order[rank]] > 0.5) {
+      hits += 1.0;
+      precision_sum += hits / static_cast<double>(rank + 1);
+    }
+  }
+  return precision_sum / static_cast<double>(std::min(k, positives));
+}
+
+double ReciprocalRank(const std::vector<double>& score,
+                      const std::vector<double>& label) {
+  DTREC_CHECK_EQ(score.size(), label.size());
+  const std::vector<size_t> order = RankOrder(score);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (label[order[rank]] > 0.5) {
+      return 1.0 / static_cast<double>(rank + 1);
+    }
+  }
+  return 0.0;
+}
+
+double CatalogCoverageAtK(const std::vector<RatingTriple>& test,
+                          const std::vector<double>& predictions, size_t k,
+                          size_t num_items) {
+  DTREC_CHECK_EQ(test.size(), predictions.size());
+  DTREC_CHECK_GT(num_items, 0u);
+  std::map<uint32_t, std::vector<std::pair<double, uint32_t>>> by_user;
+  for (size_t i = 0; i < test.size(); ++i) {
+    by_user[test[i].user].emplace_back(predictions[i], test[i].item);
+  }
+  std::set<uint32_t> recommended;
+  for (auto& [user, scored] : by_user) {
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    const size_t depth = std::min(k, scored.size());
+    for (size_t rank = 0; rank < depth; ++rank) {
+      recommended.insert(scored[rank].second);
+    }
+  }
+  return static_cast<double>(recommended.size()) /
+         static_cast<double>(num_items);
+}
+
+RankingMetrics ComputeRankingMetrics(const std::vector<RatingTriple>& test,
+                                     const std::vector<double>& predictions,
+                                     size_t k) {
+  DTREC_CHECK_EQ(test.size(), predictions.size());
+  DTREC_CHECK(!test.empty());
+
+  std::vector<double> all_scores;
+  std::vector<double> all_labels;
+  all_scores.reserve(test.size());
+  all_labels.reserve(test.size());
+
+  std::map<uint32_t, std::pair<std::vector<double>, std::vector<double>>>
+      by_user;
+  for (size_t i = 0; i < test.size(); ++i) {
+    all_scores.push_back(predictions[i]);
+    all_labels.push_back(test[i].rating);
+    auto& [scores, labels] = by_user[test[i].user];
+    scores.push_back(predictions[i]);
+    labels.push_back(test[i].rating);
+  }
+
+  RankingMetrics out;
+  out.auc = GlobalAuc(all_scores, all_labels);
+  double ndcg_total = 0.0, recall_total = 0.0;
+  for (const auto& [user, sl] : by_user) {
+    const auto& [scores, labels] = sl;
+    size_t positives = 0;
+    for (double l : labels) positives += l > 0.5 ? 1 : 0;
+    if (positives == 0) continue;
+    ndcg_total += NdcgAtK(scores, labels, k);
+    recall_total += RecallAtK(scores, labels, k);
+    ++out.users_scored;
+  }
+  if (out.users_scored > 0) {
+    out.ndcg_at_k = ndcg_total / static_cast<double>(out.users_scored);
+    out.recall_at_k = recall_total / static_cast<double>(out.users_scored);
+  }
+  return out;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,62 @@
+#ifndef DTREC_METRICS_RANKING_H_
+#define DTREC_METRICS_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/rating_dataset.h"
+
+namespace dtrec {
+
+/// Ranking quality of predictions on a test split with binary relevance.
+struct RankingMetrics {
+  double auc = 0.0;        ///< global AUC over all test points
+  double ndcg_at_k = 0.0;  ///< per-user NDCG@K, averaged over scored users
+  double recall_at_k = 0.0;  ///< per-user Recall@K, averaged
+  size_t users_scored = 0;   ///< users contributing to NDCG/Recall
+};
+
+/// Global AUC: P(score(positive) > score(negative)) over all label-1 vs
+/// label-0 pairs, ties counted half. Computed in O(n log n) via ranks.
+/// Requires at least one positive and one negative.
+double GlobalAuc(const std::vector<double>& score,
+                 const std::vector<double>& label);
+
+/// NDCG@K for one user's test items: items ranked by score descending;
+/// DCG = Σ_{ranked j, label=1, j<=K} 1/log2(j+1); IDCG = best possible.
+/// Returns 0 when the user has no positive item.
+double NdcgAtK(const std::vector<double>& score,
+               const std::vector<double>& label, size_t k);
+
+/// Recall@K for one user: (#positives ranked in top K) / min(K, #pos).
+/// Returns 0 when the user has no positive item.
+double RecallAtK(const std::vector<double>& score,
+                 const std::vector<double>& label, size_t k);
+
+/// Average precision at K for one user: mean over relevant ranks of
+/// precision@rank, normalized by min(K, #positives). 0 if no positives.
+double AveragePrecisionAtK(const std::vector<double>& score,
+                           const std::vector<double>& label, size_t k);
+
+/// Reciprocal rank of the first relevant item (0 if none).
+double ReciprocalRank(const std::vector<double>& score,
+                      const std::vector<double>& label);
+
+/// Catalog coverage: fraction of distinct items appearing in any user's
+/// top-K list, over the total item count. `test` supplies the candidate
+/// lists (grouped per user); item identity comes from the triples.
+double CatalogCoverageAtK(const std::vector<RatingTriple>& test,
+                          const std::vector<double>& predictions, size_t k,
+                          size_t num_items);
+
+/// Full evaluation protocol of the paper's Tables III/IV: `predictions[i]`
+/// scores `test[i]`; items are grouped and ranked per user; users whose
+/// test slice has no positive item are skipped for NDCG/Recall (they carry
+/// no ranking signal) but still feed the global AUC.
+RankingMetrics ComputeRankingMetrics(const std::vector<RatingTriple>& test,
+                                     const std::vector<double>& predictions,
+                                     size_t k);
+
+}  // namespace dtrec
+
+#endif  // DTREC_METRICS_RANKING_H_

@@ -1,0 +1,39 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dtrec {
+
+std::string MeanStd::ToString(int precision) const {
+  return StrFormat("%.*f±%.*f", precision, mean, precision, std);
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  out.n = values.size();
+  if (values.empty()) return out;
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  out.mean = stat.mean();
+  out.std = stat.stddev();
+  return out;
+}
+
+void RunningStat::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace dtrec

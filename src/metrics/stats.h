@@ -1,0 +1,42 @@
+#ifndef DTREC_METRICS_STATS_H_
+#define DTREC_METRICS_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtrec {
+
+/// Summary of repeated measurements (metric values over seeds).
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;  ///< sample standard deviation (n-1), 0 when n < 2
+  size_t n = 0;
+
+  /// "0.715±0.003" with the given precision — the paper's table format.
+  std::string ToString(int precision = 3) const;
+};
+
+/// Computes mean and sample standard deviation of `values`.
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// Streaming mean/variance accumulator (Welford), for long runs where
+/// storing every sample is wasteful.
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_METRICS_STATS_H_

@@ -1,0 +1,115 @@
+#include "metrics/ttest.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dtrec {
+namespace {
+
+/// Continued-fraction evaluation of the incomplete beta (Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  DTREC_CHECK_GT(a, 0.0);
+  DTREC_CHECK_GT(b, 0.0);
+  DTREC_CHECK_GE(x, 0.0);
+  DTREC_CHECK_LE(x, 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction fast-converging.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double dof) {
+  DTREC_CHECK_GT(dof, 0.0);
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal size");
+  }
+  const size_t n = a.size();
+  if (n < 2) {
+    return Status::FailedPrecondition("paired t-test needs n >= 2");
+  }
+  double mean_diff = 0.0;
+  for (size_t i = 0; i < n; ++i) mean_diff += a[i] - b[i];
+  mean_diff /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i] - mean_diff;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+  if (var == 0.0) {
+    if (mean_diff == 0.0) {
+      return Status::FailedPrecondition(
+          "all paired differences are identical and zero; t undefined");
+    }
+    // Constant non-zero difference: infinitely significant.
+    TTestResult result;
+    result.t_statistic = mean_diff > 0 ? 1e30 : -1e30;
+    result.degrees_of_freedom = static_cast<double>(n - 1);
+    result.p_two_sided = 0.0;
+    result.p_one_sided = mean_diff > 0 ? 0.0 : 1.0;
+    return result;
+  }
+  TTestResult result;
+  result.degrees_of_freedom = static_cast<double>(n - 1);
+  result.t_statistic =
+      mean_diff / std::sqrt(var / static_cast<double>(n));
+  const double cdf = StudentTCdf(result.t_statistic,
+                                 result.degrees_of_freedom);
+  result.p_one_sided = 1.0 - cdf;
+  result.p_two_sided = 2.0 * std::min(cdf, 1.0 - cdf);
+  return result;
+}
+
+}  // namespace dtrec

@@ -1,0 +1,39 @@
+#ifndef DTREC_METRICS_TTEST_H_
+#define DTREC_METRICS_TTEST_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Outcome of a paired t-test between two matched samples.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_two_sided = 1.0;
+  double p_one_sided = 1.0;  ///< H1: mean(a) > mean(b)
+
+  /// The paper marks results with * when p <= 0.05 (two-sided).
+  bool significant(double alpha = 0.05) const {
+    return p_two_sided <= alpha;
+  }
+};
+
+/// Paired t-test on matched samples `a` and `b` (e.g. metric values of two
+/// methods across the same seeds). Fails when sizes differ, n < 2, or the
+/// paired differences are constant-zero (t undefined).
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom,
+/// evaluated via the regularized incomplete beta function.
+double StudentTCdf(double t, double dof);
+
+/// Regularized incomplete beta function I_x(a, b) by continued fraction
+/// (Numerical-Recipes-style Lentz algorithm). Domain: x∈[0,1], a,b > 0.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace dtrec
+
+#endif  // DTREC_METRICS_TTEST_H_

@@ -1,0 +1,12 @@
+#include "models/embedding_table.h"
+
+#include "util/random.h"
+
+namespace dtrec {
+
+EmbeddingTable EmbeddingTable::Create(size_t rows, size_t dim,
+                                      double init_scale, Rng* rng) {
+  return EmbeddingTable(Matrix::RandomNormal(rows, dim, init_scale, rng));
+}
+
+}  // namespace dtrec

@@ -1,0 +1,39 @@
+#ifndef DTREC_MODELS_EMBEDDING_TABLE_H_
+#define DTREC_MODELS_EMBEDDING_TABLE_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+class Rng;
+
+/// A learnable rows×dim embedding lookup table (users or items).
+///
+/// Thin wrapper over Matrix that fixes the initialization convention
+/// (Gaussian with tuned scale) and provides parameter accounting. Trainers
+/// put `weights` on the tape as a leaf and gather the batch's rows.
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+
+  /// rows×dim table with N(0, init_scale) entries.
+  static EmbeddingTable Create(size_t rows, size_t dim, double init_scale,
+                               Rng* rng);
+
+  Matrix& weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+
+  size_t rows() const { return weights_.rows(); }
+  size_t dim() const { return weights_.cols(); }
+  size_t num_parameters() const { return weights_.size(); }
+
+ private:
+  explicit EmbeddingTable(Matrix weights) : weights_(std::move(weights)) {}
+  Matrix weights_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_MODELS_EMBEDDING_TABLE_H_

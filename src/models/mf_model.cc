@@ -1,0 +1,100 @@
+#include "models/mf_model.h"
+
+#include "tensor/ops.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+MfModel::MfModel(const MfModelConfig& config) : config_(config) {
+  DTREC_CHECK_GT(config.num_users, 0u);
+  DTREC_CHECK_GT(config.num_items, 0u);
+  DTREC_CHECK_GT(config.dim, 0u);
+  Rng rng(config.seed);
+  p_ = EmbeddingTable::Create(config.num_users, config.dim,
+                              config.init_scale, &rng);
+  q_ = EmbeddingTable::Create(config.num_items, config.dim,
+                              config.init_scale, &rng);
+  if (config.use_bias) {
+    user_bias_ = Matrix(config.num_users, 1);
+    item_bias_ = Matrix(config.num_items, 1);
+  }
+}
+
+double MfModel::Score(size_t user, size_t item) const {
+  double s = RowDot(p_.weights(), user, q_.weights(), item);
+  if (config_.use_bias) {
+    s += user_bias_(user, 0) + item_bias_(item, 0);
+  }
+  return s;
+}
+
+double MfModel::PredictProbability(size_t user, size_t item) const {
+  return Sigmoid(Score(user, item));
+}
+
+Matrix MfModel::FullProbabilityMatrix() const {
+  Matrix scores = MatMulTransB(p_.weights(), q_.weights());
+  for (size_t u = 0; u < scores.rows(); ++u) {
+    for (size_t i = 0; i < scores.cols(); ++i) {
+      double s = scores(u, i);
+      if (config_.use_bias) s += user_bias_(u, 0) + item_bias_(i, 0);
+      scores(u, i) = Sigmoid(s);
+    }
+  }
+  return scores;
+}
+
+std::vector<ag::Var> MfModel::MakeLeaves(ag::Tape* tape) const {
+  DTREC_CHECK(tape != nullptr);
+  std::vector<ag::Var> leaves;
+  leaves.push_back(tape->Leaf(p_.weights()));
+  leaves.push_back(tape->Leaf(q_.weights()));
+  if (config_.use_bias) {
+    leaves.push_back(tape->Leaf(user_bias_));
+    leaves.push_back(tape->Leaf(item_bias_));
+  }
+  return leaves;
+}
+
+ag::Var MfModel::BatchLogits(ag::Tape* tape,
+                             const std::vector<ag::Var>& leaves,
+                             const std::vector<size_t>& users,
+                             const std::vector<size_t>& items) const {
+  DTREC_CHECK(tape != nullptr);
+  DTREC_CHECK_EQ(leaves.size(), config_.use_bias ? 4u : 2u);
+  ag::Var pu = ag::GatherRows(leaves[0], users);
+  ag::Var qi = ag::GatherRows(leaves[1], items);
+  ag::Var logits = ag::RowwiseDot(pu, qi);
+  if (config_.use_bias) {
+    logits = ag::Add(logits, ag::GatherRows(leaves[2], users));
+    logits = ag::Add(logits, ag::GatherRows(leaves[3], items));
+  }
+  return logits;
+}
+
+std::vector<Matrix*> MfModel::Params() {
+  std::vector<Matrix*> params{&p_.weights(), &q_.weights()};
+  if (config_.use_bias) {
+    params.push_back(&user_bias_);
+    params.push_back(&item_bias_);
+  }
+  return params;
+}
+
+std::vector<const Matrix*> MfModel::Params() const {
+  std::vector<const Matrix*> params{&p_.weights(), &q_.weights()};
+  if (config_.use_bias) {
+    params.push_back(&user_bias_);
+    params.push_back(&item_bias_);
+  }
+  return params;
+}
+
+size_t MfModel::NumParameters() const {
+  size_t n = p_.num_parameters() + q_.num_parameters();
+  if (config_.use_bias) n += user_bias_.size() + item_bias_.size();
+  return n;
+}
+
+}  // namespace dtrec

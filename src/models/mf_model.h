@@ -1,0 +1,74 @@
+#ifndef DTREC_MODELS_MF_MODEL_H_
+#define DTREC_MODELS_MF_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "models/embedding_table.h"
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+/// Configuration of a matrix-factorization scoring model.
+struct MfModelConfig {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t dim = 8;
+  bool use_bias = true;       ///< per-user/per-item bias terms
+  double init_scale = 0.1;
+  uint64_t seed = 17;
+};
+
+/// Matrix factorization with optional bias terms:
+///   score(u, i) = p_u · q_i [+ bu_u + bi_i]
+/// The paper's base model for prediction, propensity, and imputation heads
+/// alike. Binary tasks squash the score through a sigmoid.
+class MfModel {
+ public:
+  MfModel() = default;
+  explicit MfModel(const MfModelConfig& config);
+
+  /// Raw score (logit).
+  double Score(size_t user, size_t item) const;
+
+  /// σ(score): probability of a positive label.
+  double PredictProbability(size_t user, size_t item) const;
+
+  /// Dense score matrix σ applied optionally; rows=users, cols=items.
+  Matrix FullProbabilityMatrix() const;
+
+  /// --- Autograd integration -------------------------------------------
+  /// Puts all parameters on `tape` as leaves (order: P, Q[, bu, bi]).
+  /// The returned handles pair with Params() for the optimizer step.
+  std::vector<ag::Var> MakeLeaves(ag::Tape* tape) const;
+
+  /// Batch logits (B×1) from leaves created by MakeLeaves.
+  ag::Var BatchLogits(ag::Tape* tape, const std::vector<ag::Var>& leaves,
+                      const std::vector<size_t>& users,
+                      const std::vector<size_t>& items) const;
+
+  /// Parameter matrices in MakeLeaves order (stable addresses).
+  std::vector<Matrix*> Params();
+  std::vector<const Matrix*> Params() const;
+
+  size_t NumParameters() const;
+
+  Matrix& p() { return p_.weights(); }
+  Matrix& q() { return q_.weights(); }
+  const Matrix& p() const { return p_.weights(); }
+  const Matrix& q() const { return q_.weights(); }
+  const MfModelConfig& config() const { return config_; }
+
+ private:
+  MfModelConfig config_;
+  EmbeddingTable p_;   // users × dim
+  EmbeddingTable q_;   // items × dim
+  Matrix user_bias_;   // users × 1 (when use_bias)
+  Matrix item_bias_;   // items × 1
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_MODELS_MF_MODEL_H_

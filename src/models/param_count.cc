@@ -1,0 +1,20 @@
+#include "models/param_count.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dtrec {
+
+std::string RelativeSize(size_t size, size_t reference) {
+  if (reference == 0) return "n/a";
+  const double ratio =
+      static_cast<double>(size) / static_cast<double>(reference);
+  const double rounded = std::round(ratio * 2.0) / 2.0;
+  if (rounded == std::floor(rounded)) {
+    return StrFormat("%.0fx", rounded);
+  }
+  return StrFormat("%.1fx", rounded);
+}
+
+}  // namespace dtrec

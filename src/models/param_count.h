@@ -1,0 +1,37 @@
+#ifndef DTREC_MODELS_PARAM_COUNT_H_
+#define DTREC_MODELS_PARAM_COUNT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtrec {
+
+/// Itemized parameter budget of a method, used to regenerate the paper's
+/// Table II (relative embedding / hidden sizes) and the parameter column
+/// of Table VI.
+struct ParamBudget {
+  size_t embedding_params = 0;  ///< embedding-table entries
+  size_t hidden_params = 0;     ///< MLP/tower weights
+  size_t other_params = 0;      ///< biases, scalars
+
+  size_t total() const {
+    return embedding_params + hidden_params + other_params;
+  }
+};
+
+/// One row of the loss-inventory side of Table II.
+struct LossInventory {
+  bool propensity_loss = false;
+  bool ctcvr_loss = false;
+  bool disentangle_loss = false;
+};
+
+/// Formats a budget relative to a reference ("1x", "2x", ...), matching
+/// Table II's presentation. Returns e.g. "2x" when size ≈ 2·reference
+/// (rounded to the nearest 0.5).
+std::string RelativeSize(size_t size, size_t reference);
+
+}  // namespace dtrec
+
+#endif  // DTREC_MODELS_PARAM_COUNT_H_

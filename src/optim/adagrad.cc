@@ -1,0 +1,34 @@
+#include "optim/adagrad.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dtrec {
+
+AdaGrad::AdaGrad(double learning_rate, double epsilon, double weight_decay)
+    : Optimizer(learning_rate),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  DTREC_CHECK_GT(epsilon, 0.0);
+}
+
+void AdaGrad::Step(Matrix* param, const Matrix& grad) {
+  DTREC_CHECK(param != nullptr);
+  DTREC_CHECK_EQ(param->rows(), grad.rows());
+  DTREC_CHECK_EQ(param->cols(), grad.cols());
+
+  auto [it, inserted] =
+      accum_.try_emplace(param, Matrix(param->rows(), param->cols()));
+  Matrix& acc = it->second;
+  (void)inserted;
+  for (size_t i = 0; i < param->size(); ++i) {
+    const double g = grad.at_flat(i) + weight_decay_ * param->at_flat(i);
+    acc.at_flat(i) += g * g;
+    param->at_flat(i) -= lr_ * g / (std::sqrt(acc.at_flat(i)) + epsilon_);
+  }
+}
+
+void AdaGrad::Reset() { accum_.clear(); }
+
+}  // namespace dtrec

@@ -1,0 +1,31 @@
+#ifndef DTREC_OPTIM_ADAGRAD_H_
+#define DTREC_OPTIM_ADAGRAD_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace dtrec {
+
+/// AdaGrad (Duchi et al., 2011): per-coordinate learning rates that shrink
+/// with accumulated squared gradients. Useful for the sparse embedding
+/// updates of observed-only samplers.
+class AdaGrad : public Optimizer {
+ public:
+  explicit AdaGrad(double learning_rate, double epsilon = 1e-10,
+                   double weight_decay = 0.0);
+
+  void Step(Matrix* param, const Matrix& grad) override;
+  void Reset() override;
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  double epsilon_;
+  double weight_decay_;
+  std::unordered_map<const Matrix*, Matrix> accum_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_OPTIM_ADAGRAD_H_

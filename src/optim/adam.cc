@@ -1,0 +1,50 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dtrec {
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  DTREC_CHECK_GT(beta1, 0.0);
+  DTREC_CHECK_LT(beta1, 1.0);
+  DTREC_CHECK_GT(beta2, 0.0);
+  DTREC_CHECK_LT(beta2, 1.0);
+  DTREC_CHECK_GT(epsilon, 0.0);
+}
+
+void Adam::Step(Matrix* param, const Matrix& grad) {
+  DTREC_CHECK(param != nullptr);
+  DTREC_CHECK_EQ(param->rows(), grad.rows());
+  DTREC_CHECK_EQ(param->cols(), grad.cols());
+
+  auto [it, inserted] = slots_.try_emplace(param);
+  Slot& slot = it->second;
+  if (inserted) {
+    slot.m = Matrix(param->rows(), param->cols());
+    slot.v = Matrix(param->rows(), param->cols());
+  }
+  slot.t += 1;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(slot.t));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(slot.t));
+
+  for (size_t i = 0; i < param->size(); ++i) {
+    const double g = grad.at_flat(i) + weight_decay_ * param->at_flat(i);
+    slot.m.at_flat(i) = beta1_ * slot.m.at_flat(i) + (1.0 - beta1_) * g;
+    slot.v.at_flat(i) = beta2_ * slot.v.at_flat(i) + (1.0 - beta2_) * g * g;
+    const double m_hat = slot.m.at_flat(i) / bc1;
+    const double v_hat = slot.v.at_flat(i) / bc2;
+    param->at_flat(i) -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+void Adam::Reset() { slots_.clear(); }
+
+}  // namespace dtrec

@@ -1,0 +1,40 @@
+#ifndef DTREC_OPTIM_ADAM_H_
+#define DTREC_OPTIM_ADAM_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace dtrec {
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional L2 weight
+/// decay folded into the gradient — matching the paper's training setup
+/// ("implemented on PyTorch with Adam as the optimizer").
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8,
+                double weight_decay = 0.0);
+
+  void Step(Matrix* param, const Matrix& grad) override;
+  void Reset() override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  struct Slot {
+    Matrix m;  // first moment
+    Matrix v;  // second moment
+    int64_t t = 0;
+  };
+
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  std::unordered_map<const Matrix*, Slot> slots_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_OPTIM_ADAM_H_

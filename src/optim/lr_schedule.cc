@@ -1,0 +1,22 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dtrec {
+
+ExponentialDecayLr::ExponentialDecayLr(double base, double decay,
+                                       int64_t decay_steps)
+    : base_(base), decay_(decay), decay_steps_(decay_steps) {
+  DTREC_CHECK_GT(decay, 0.0);
+  DTREC_CHECK_GT(decay_steps, 0);
+}
+
+double ExponentialDecayLr::LearningRate(int64_t step) const {
+  const double exponent =
+      static_cast<double>(step) / static_cast<double>(decay_steps_);
+  return base_ * std::pow(decay_, exponent);
+}
+
+}  // namespace dtrec

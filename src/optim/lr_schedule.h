@@ -1,0 +1,55 @@
+#ifndef DTREC_OPTIM_LR_SCHEDULE_H_
+#define DTREC_OPTIM_LR_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace dtrec {
+
+/// Learning-rate schedule: maps a 0-based step index to a learning rate.
+/// Trainers call lr(step) and forward it to Optimizer::set_learning_rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double LearningRate(int64_t step) const = 0;
+};
+
+/// lr(t) = base.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double base) : base_(base) {}
+  double LearningRate(int64_t) const override { return base_; }
+
+ private:
+  double base_;
+};
+
+/// lr(t) = base · decay^(t / decay_steps), continuous exponential decay.
+class ExponentialDecayLr : public LrSchedule {
+ public:
+  ExponentialDecayLr(double base, double decay, int64_t decay_steps);
+  double LearningRate(int64_t step) const override;
+
+ private:
+  double base_;
+  double decay_;
+  int64_t decay_steps_;
+};
+
+/// lr(t) = base / (1 + rate·t): classic inverse-time decay, the standard
+/// Robbins–Monro-compatible choice for SGD convergence.
+class InverseTimeDecayLr : public LrSchedule {
+ public:
+  InverseTimeDecayLr(double base, double rate) : base_(base), rate_(rate) {}
+  double LearningRate(int64_t step) const override {
+    return base_ / (1.0 + rate_ * static_cast<double>(step));
+  }
+
+ private:
+  double base_;
+  double rate_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_OPTIM_LR_SCHEDULE_H_

@@ -1,0 +1,46 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "optim/adagrad.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "util/logging.h"
+
+namespace dtrec {
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate,
+                                         double weight_decay) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(learning_rate, /*momentum=*/0.0,
+                                   weight_decay);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(learning_rate, 0.9, 0.999, 1e-8,
+                                    weight_decay);
+    case OptimizerKind::kAdaGrad:
+      return std::make_unique<AdaGrad>(learning_rate, 1e-10, weight_decay);
+  }
+  DTREC_CHECK(false) << "unknown optimizer kind";
+  return nullptr;
+}
+
+double ClipGradNorm(const std::vector<Matrix*>& grads, double max_norm) {
+  DTREC_CHECK_GT(max_norm, 0.0);
+  double total_sq = 0.0;
+  for (const Matrix* g : grads) {
+    DTREC_CHECK(g != nullptr);
+    total_sq += g->FrobeniusNormSquared();
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Matrix* g : grads) {
+      for (size_t i = 0; i < g->size(); ++i) g->at_flat(i) *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace dtrec

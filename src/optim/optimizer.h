@@ -1,0 +1,56 @@
+#ifndef DTREC_OPTIM_OPTIMIZER_H_
+#define DTREC_OPTIM_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+/// First-order optimizer interface.
+///
+/// Trainers own their parameter matrices; the optimizer keeps per-parameter
+/// slot state (momenta etc.) keyed by the parameter's address, so a
+/// parameter must live at a stable address for the lifetime of training.
+class Optimizer {
+ public:
+  explicit Optimizer(double learning_rate) : lr_(learning_rate) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one in-place update to `param` given its gradient.
+  virtual void Step(Matrix* param, const Matrix& grad) = 0;
+
+  /// Drops all accumulated slot state (e.g. between folds).
+  virtual void Reset() = 0;
+
+  /// Human-readable name, e.g. "adam".
+  virtual std::string name() const = 0;
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  double lr_;
+};
+
+/// Supported optimizer kinds for config-driven construction.
+enum class OptimizerKind { kSgd, kAdam, kAdaGrad };
+
+/// Factory used by the experiment configs. `weight_decay` is decoupled
+/// (applied as L2 on the gradient) for all kinds.
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate,
+                                         double weight_decay = 0.0);
+
+/// Scales the gradients in place so their joint L2 norm is at most
+/// `max_norm`; returns the pre-clip norm. No-op when already within bound.
+double ClipGradNorm(const std::vector<Matrix*>& grads, double max_norm);
+
+}  // namespace dtrec
+
+#endif  // DTREC_OPTIM_OPTIMIZER_H_

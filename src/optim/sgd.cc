@@ -1,0 +1,44 @@
+#include "optim/sgd.h"
+
+#include "util/logging.h"
+
+namespace dtrec {
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : Optimizer(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  DTREC_CHECK_GE(momentum, 0.0);
+  DTREC_CHECK_LT(momentum, 1.0);
+}
+
+void Sgd::Step(Matrix* param, const Matrix& grad) {
+  DTREC_CHECK(param != nullptr);
+  DTREC_CHECK_EQ(param->rows(), grad.rows());
+  DTREC_CHECK_EQ(param->cols(), grad.cols());
+
+  if (momentum_ == 0.0) {
+    for (size_t i = 0; i < param->size(); ++i) {
+      const double g = grad.at_flat(i) + weight_decay_ * param->at_flat(i);
+      param->at_flat(i) -= lr_ * g;
+    }
+    return;
+  }
+
+  auto [it, inserted] = velocity_.try_emplace(
+      param, Matrix(param->rows(), param->cols()));
+  Matrix& v = it->second;
+  if (!inserted) {
+    DTREC_CHECK_EQ(v.rows(), param->rows());
+    DTREC_CHECK_EQ(v.cols(), param->cols());
+  }
+  for (size_t i = 0; i < param->size(); ++i) {
+    const double g = grad.at_flat(i) + weight_decay_ * param->at_flat(i);
+    v.at_flat(i) = momentum_ * v.at_flat(i) + g;
+    param->at_flat(i) -= lr_ * v.at_flat(i);
+  }
+}
+
+void Sgd::Reset() { velocity_.clear(); }
+
+}  // namespace dtrec

@@ -1,0 +1,31 @@
+#ifndef DTREC_OPTIM_SGD_H_
+#define DTREC_OPTIM_SGD_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace dtrec {
+
+/// Stochastic gradient descent with optional classical momentum and
+/// decoupled L2 weight decay:
+///   v ← μ·v + (g + wd·θ);  θ ← θ − lr·v
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  void Step(Matrix* param, const Matrix& grad) override;
+  void Reset() override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<const Matrix*, Matrix> velocity_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_OPTIM_SGD_H_

@@ -1,0 +1,56 @@
+#include "propensity/logistic_propensity.h"
+
+#include "data/samplers.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+Status LogisticPropensity::Fit(const RatingDataset& dataset) {
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  const size_t m = dataset.num_users();
+  const size_t n = dataset.num_items();
+  user_logit_.assign(m, 0.0);
+  item_logit_.assign(n, 0.0);
+  // Initialize the shared bias at the marginal log-odds for fast
+  // convergence.
+  const double rate = Clamp(dataset.TrainDensity(), 1e-6, 1.0 - 1e-6);
+  bias_ = Logit(rate);
+
+  FullMatrixBatchSampler sampler(dataset, config_.seed);
+  const size_t cells = m * n;
+  const size_t steps_per_epoch =
+      config_.steps_per_epoch > 0
+          ? config_.steps_per_epoch
+          : std::max<size_t>(1, cells / config_.batch_cells);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t step = 0; step < steps_per_epoch; ++step) {
+      const Batch batch = sampler.Sample(config_.batch_cells);
+      const double inv_b = 1.0 / static_cast<double>(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const size_t u = batch.users[i];
+        const size_t it = batch.items[i];
+        const double p =
+            Sigmoid(user_logit_[u] + item_logit_[it] + bias_);
+        const double g = (p - batch.observed(i, 0)) * inv_b *
+                         static_cast<double>(batch.size());
+        // Plain per-example SGD (inv_b cancels; kept for clarity).
+        user_logit_[u] -= config_.learning_rate *
+                          (g + config_.weight_decay * user_logit_[u]);
+        item_logit_[it] -= config_.learning_rate *
+                           (g + config_.weight_decay * item_logit_[it]);
+        bias_ -= 0.1 * config_.learning_rate * g;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticPropensity::Propensity(size_t user, size_t item) const {
+  DTREC_CHECK_LT(user, user_logit_.size());
+  DTREC_CHECK_LT(item, item_logit_.size());
+  return Sigmoid(user_logit_[user] + item_logit_[item] + bias_);
+}
+
+}  // namespace dtrec

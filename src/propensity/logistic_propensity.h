@@ -1,0 +1,49 @@
+#ifndef DTREC_PROPENSITY_LOGISTIC_PROPENSITY_H_
+#define DTREC_PROPENSITY_LOGISTIC_PROPENSITY_H_
+
+#include <string>
+#include <vector>
+
+#include "propensity/propensity.h"
+
+namespace dtrec {
+
+/// Logistic-regression MAR propensity on (user, item) identity features:
+///   P(o=1 | x_{u,i}) = σ(a_u + b_i + c)
+/// fit by SGD on the full observation matrix — the standard learned
+/// propensity of the IPS/DR literature the paper analyzes (and exactly the
+/// estimator Lemma 2(a) proves biased under MNAR, since it never sees r).
+struct LogisticPropensityConfig {
+  size_t epochs = 8;
+  double learning_rate = 0.1;
+  double weight_decay = 1e-6;
+  size_t batch_cells = 8192;   ///< cells sampled per SGD step
+  size_t steps_per_epoch = 0;  ///< 0 → |D| / batch_cells
+  uint64_t seed = 31;
+};
+
+class LogisticPropensity : public PropensityModel {
+ public:
+  LogisticPropensity() = default;
+  explicit LogisticPropensity(const LogisticPropensityConfig& config)
+      : config_(config) {}
+
+  Status Fit(const RatingDataset& dataset) override;
+  double Propensity(size_t user, size_t item) const override;
+  std::string name() const override { return "logistic"; }
+
+  /// Fitted parameters (tests / diagnostics).
+  const std::vector<double>& user_logits() const { return user_logit_; }
+  const std::vector<double>& item_logits() const { return item_logit_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticPropensityConfig config_;
+  std::vector<double> user_logit_;
+  std::vector<double> item_logit_;
+  double bias_ = 0.0;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_PROPENSITY_LOGISTIC_PROPENSITY_H_

@@ -1,0 +1,39 @@
+#include "propensity/popularity_propensity.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dtrec {
+
+Status PopularityPropensity::Fit(const RatingDataset& dataset) {
+  DTREC_RETURN_IF_ERROR(dataset.Validate());
+  if (smoothing_ < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  const size_t m = dataset.num_users();
+  const size_t n = dataset.num_items();
+  const std::vector<size_t> user_counts = dataset.UserCounts();
+  const std::vector<size_t> item_counts = dataset.ItemCounts();
+
+  user_rate_.assign(m, 0.0);
+  item_rate_.assign(n, 0.0);
+  for (size_t u = 0; u < m; ++u) {
+    user_rate_[u] = (static_cast<double>(user_counts[u]) + smoothing_) /
+                    (static_cast<double>(n) + 2.0 * smoothing_);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    item_rate_[i] = (static_cast<double>(item_counts[i]) + smoothing_) /
+                    (static_cast<double>(m) + 2.0 * smoothing_);
+  }
+  overall_rate_ = Clamp(dataset.TrainDensity(), 1e-9, 1.0);
+  return Status::OK();
+}
+
+double PopularityPropensity::Propensity(size_t user, size_t item) const {
+  DTREC_CHECK_LT(user, user_rate_.size());
+  DTREC_CHECK_LT(item, item_rate_.size());
+  return Clamp(user_rate_[user] * item_rate_[item] / overall_rate_, 1e-6,
+               1.0);
+}
+
+}  // namespace dtrec

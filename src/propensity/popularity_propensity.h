@@ -1,0 +1,35 @@
+#ifndef DTREC_PROPENSITY_POPULARITY_PROPENSITY_H_
+#define DTREC_PROPENSITY_POPULARITY_PROPENSITY_H_
+
+#include <string>
+#include <vector>
+
+#include "propensity/propensity.h"
+
+namespace dtrec {
+
+/// Count-based MAR propensity under a user/item independence assumption:
+///   P(o=1 | u, i) ≈ rate(u) · rate(i) / rate(overall)
+/// where rate(u) = |O_u|/N, rate(i) = |O_i|/M. Zero-count users/items fall
+/// back to Laplace-smoothed rates. A classic cheap propensity model and
+/// one of the MR candidate set.
+class PopularityPropensity : public PropensityModel {
+ public:
+  /// `smoothing` is the Laplace count added to every user/item.
+  explicit PopularityPropensity(double smoothing = 1.0)
+      : smoothing_(smoothing) {}
+
+  Status Fit(const RatingDataset& dataset) override;
+  double Propensity(size_t user, size_t item) const override;
+  std::string name() const override { return "popularity"; }
+
+ private:
+  double smoothing_;
+  std::vector<double> user_rate_;
+  std::vector<double> item_rate_;
+  double overall_rate_ = 0.0;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_PROPENSITY_POPULARITY_PROPENSITY_H_

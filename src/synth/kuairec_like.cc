@@ -1,0 +1,108 @@
+#include "synth/kuairec_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+
+Status ValidateKuaiRecConfig(const KuaiRecLikeConfig& config) {
+  if (config.scale <= 0.0 || config.scale > 1.0) {
+    return Status::InvalidArgument("scale must lie in (0, 1]");
+  }
+  if (config.latent_dim == 0) {
+    return Status::InvalidArgument("latent_dim must be positive");
+  }
+  if (config.ratio_noise <= 0.0) {
+    return Status::InvalidArgument("ratio_noise must be positive");
+  }
+  if (config.test_user_fraction <= 0.0 || config.test_user_fraction > 1.0 ||
+      config.test_item_fraction <= 0.0 || config.test_item_fraction > 1.0) {
+    return Status::InvalidArgument("test fractions must lie in (0, 1]");
+  }
+  return Status::OK();
+}
+
+KuaiRecLikeData MakeKuaiRecLike(const KuaiRecLikeConfig& config) {
+  const Status st = ValidateKuaiRecConfig(config);
+  DTREC_CHECK(st.ok()) << st.ToString();
+  const size_t m = std::max<size_t>(
+      60, static_cast<size_t>(7176.0 * config.scale));
+  const size_t n = std::max<size_t>(
+      80, static_cast<size_t>(10728.0 * config.scale));
+  Rng rng(config.seed);
+
+  Matrix theta = Matrix::RandomNormal(m, config.latent_dim, 0.35, &rng);
+  Matrix phi = Matrix::RandomNormal(n, config.latent_dim, 0.35, &rng);
+  Matrix a = Matrix::RandomNormal(m, 1, 0.6, &rng);
+  Matrix b = Matrix::RandomNormal(n, 1, 0.6, &rng);
+  Matrix score = MatMulTransB(theta, phi);
+  Matrix aux = MatMulTransB(a, b);
+
+  KuaiRecLikeData out;
+  out.dataset = RatingDataset(m, n);
+  if (config.keep_oracle) {
+    out.watch_ratio = Matrix(m, n);
+    out.mnar_propensity = Matrix(m, n);
+    out.positive_prob = Matrix(m, n);
+  }
+
+  // Fully-observed unbiased test block: a contiguous slab of users/items,
+  // mirroring KuaiRec's exhaustively-labeled small matrix.
+  const size_t test_users = std::max<size_t>(
+      1, static_cast<size_t>(config.test_user_fraction *
+                             static_cast<double>(m)));
+  const size_t test_items = std::max<size_t>(
+      1, static_cast<size_t>(config.test_item_fraction *
+                             static_cast<double>(n)));
+
+  for (size_t u = 0; u < m; ++u) {
+    for (size_t i = 0; i < n; ++i) {
+      // Watch ratio: lognormal-style around the preference score, centered
+      // so the median cell sits a bit below ratio 1.0 (most videos are not
+      // watched to completion).
+      const double mu = 0.65 * score(u, i) - 0.25;
+      const double ratio =
+          std::exp(mu + rng.Normal(0.0, config.ratio_noise));
+      const double label = ratio >= 1.0 ? 1.0 : 0.0;
+
+      const double logit = config.base_logit +
+                           config.feature_coef * score(u, i) +
+                           config.aux_coef * aux(u, i) +
+                           config.ratio_coef * (std::min(ratio, 3.0) - 1.0);
+      const double p = Sigmoid(logit);
+
+      if (config.keep_oracle) {
+        out.watch_ratio(u, i) = ratio;
+        out.mnar_propensity(u, i) = p;
+        // P(label=1 | x) = P(exp(mu + noise) >= 1) = Φ(mu / noise).
+        out.positive_prob(u, i) =
+            0.5 * std::erfc(-(mu / config.ratio_noise) / std::sqrt(2.0));
+      }
+
+      if (rng.Bernoulli(p)) {
+        out.dataset.AddTrain(static_cast<uint32_t>(u),
+                             static_cast<uint32_t>(i), label);
+      }
+      if (u < test_users && i < test_items) {
+        out.dataset.AddTest(static_cast<uint32_t>(u),
+                            static_cast<uint32_t>(i), label);
+      }
+    }
+  }
+  return out;
+}
+
+KuaiRecLikeData MakeKuaiRecLike(uint64_t seed, double scale,
+                                bool keep_oracle) {
+  KuaiRecLikeConfig config;
+  config.seed = seed;
+  config.scale = scale;
+  config.keep_oracle = keep_oracle;
+  return MakeKuaiRecLike(config);
+}
+
+}  // namespace dtrec

@@ -1,0 +1,52 @@
+#ifndef DTREC_SYNTH_KUAIREC_LIKE_H_
+#define DTREC_SYNTH_KUAIREC_LIKE_H_
+
+#include <cstdint>
+
+#include "data/rating_dataset.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Configuration of the KuaiRec-shaped industrial-scale simulation.
+///
+/// KuaiRec records *watch ratios* (play duration / video duration) of
+/// 7,176 users × 10,728 short videos, ~16% dense and MNAR (the platform
+/// and the users decide what gets watched); a fully-observed small block
+/// serves as the unbiased test set. Ratios < 1 are clipped to 0, else 1
+/// (paper Section VI). `scale` shrinks both axes; 1.0 is full size.
+struct KuaiRecLikeConfig {
+  double scale = 0.1;
+  size_t latent_dim = 8;
+  double ratio_noise = 0.35;    ///< lognormal-ish watch-ratio noise
+  double base_logit = -1.9;     ///< tunes the ~16% observed density
+  double feature_coef = 0.7;
+  double aux_coef = 0.8;
+  double ratio_coef = 1.1;      ///< MNAR: realized watch ratio drives o
+  double test_user_fraction = 0.2;  ///< fully-observed test block (users)
+  double test_item_fraction = 0.3;  ///< fully-observed test block (items)
+  bool keep_oracle = false;
+  uint64_t seed = 11;
+};
+
+/// KuaiRec-shaped output. `watch_ratio` is the full realized matrix (kept
+/// only with keep_oracle); the dataset carries binarized labels.
+struct KuaiRecLikeData {
+  RatingDataset dataset;
+  Matrix watch_ratio;       ///< realized ratio per cell (oracle only)
+  Matrix mnar_propensity;   ///< P(o=1 | x, realized ratio) (oracle only)
+  Matrix positive_prob;     ///< P(label=1 | x) (oracle only)
+};
+
+Status ValidateKuaiRecConfig(const KuaiRecLikeConfig& config);
+
+KuaiRecLikeData MakeKuaiRecLike(const KuaiRecLikeConfig& config);
+
+/// Convenience: default config at `scale` with the given seed.
+KuaiRecLikeData MakeKuaiRecLike(uint64_t seed, double scale = 0.1,
+                                bool keep_oracle = false);
+
+}  // namespace dtrec
+
+#endif  // DTREC_SYNTH_KUAIREC_LIKE_H_

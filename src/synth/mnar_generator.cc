@@ -1,0 +1,175 @@
+#include "synth/mnar_generator.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/math_util.h"
+
+namespace dtrec {
+
+const char* MissingMechanismName(MissingMechanism mechanism) {
+  switch (mechanism) {
+    case MissingMechanism::kMcar:
+      return "MCAR";
+    case MissingMechanism::kMar:
+      return "MAR";
+    case MissingMechanism::kMnar:
+      return "MNAR";
+  }
+  return "?";
+}
+
+namespace {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double StarProbability(double score, int star, double noise) {
+  DTREC_CHECK_GE(star, 1);
+  DTREC_CHECK_LE(star, 5);
+  DTREC_CHECK_GT(noise, 0.0);
+  // r = clamp(round(score + eps), 1, 5): the rounding bin for star k is
+  // (k-0.5, k+0.5]; stars 1 and 5 absorb the clamped tails.
+  const double upper =
+      star == 5 ? 1.0 : NormalCdf((star + 0.5 - score) / noise);
+  const double lower =
+      star == 1 ? 0.0 : NormalCdf((star - 0.5 - score) / noise);
+  return upper - lower;
+}
+
+MnarGenerator::MnarGenerator(const MnarGeneratorConfig& config)
+    : config_(config) {}
+
+Status MnarGenerator::ValidateConfig() const {
+  if (config_.num_users == 0 || config_.num_items == 0) {
+    return Status::InvalidArgument("num_users/num_items must be positive");
+  }
+  if (config_.latent_dim == 0) {
+    return Status::InvalidArgument("latent_dim must be positive");
+  }
+  if (config_.rating_noise <= 0.0) {
+    return Status::InvalidArgument("rating_noise must be positive");
+  }
+  if (config_.test_per_user > config_.num_items) {
+    return Status::InvalidArgument(
+        "test_per_user cannot exceed num_items");
+  }
+  if (config_.binarize_threshold < 1.0 || config_.binarize_threshold > 5.0) {
+    return Status::InvalidArgument(
+        "binarize_threshold must lie in [1, 5]");
+  }
+  return Status::OK();
+}
+
+SimulatedData MnarGenerator::Generate() const {
+  DTREC_CHECK(ValidateConfig().ok()) << ValidateConfig().ToString();
+  const size_t m = config_.num_users;
+  const size_t n = config_.num_items;
+  Rng rng(config_.seed);
+
+  // Latent world: preference factors (feature channel) and independent
+  // auxiliary factors (Assumption 1's z channel).
+  Matrix theta =
+      Matrix::RandomNormal(m, config_.latent_dim, config_.latent_scale, &rng);
+  Matrix phi =
+      Matrix::RandomNormal(n, config_.latent_dim, config_.latent_scale, &rng);
+  Matrix a = Matrix::RandomNormal(m, 1, config_.aux_latent_scale, &rng);
+  Matrix b = Matrix::RandomNormal(n, 1, config_.aux_latent_scale, &rng);
+
+  MnarOracle oracle;
+  oracle.star_score = MatMulTransB(theta, phi);
+  for (size_t i = 0; i < oracle.star_score.size(); ++i) {
+    oracle.star_score.at_flat(i) += config_.rating_mean;
+  }
+  oracle.aux_score = MatMulTransB(a, b);
+
+  // Realize every star rating (the simulator knows the full matrix).
+  oracle.star_rating = Matrix(m, n);
+  oracle.label = Matrix(m, n);
+  oracle.positive_prob = Matrix(m, n);
+  for (size_t u = 0; u < m; ++u) {
+    for (size_t i = 0; i < n; ++i) {
+      const double s = oracle.star_score(u, i);
+      double noisy = s + rng.Normal(0.0, config_.rating_noise);
+      double star = std::round(noisy);
+      star = Clamp(star, 1.0, 5.0);
+      oracle.star_rating(u, i) = star;
+      oracle.label(u, i) = star >= config_.binarize_threshold ? 1.0 : 0.0;
+      double pos = 0.0;
+      for (int k = 1; k <= 5; ++k) {
+        if (static_cast<double>(k) >= config_.binarize_threshold) {
+          pos += StarProbability(s, k, config_.rating_noise);
+        }
+      }
+      oracle.positive_prob(u, i) = pos;
+    }
+  }
+
+  // Selection model: separable logistic (Theorem 1). The MNAR propensity
+  // plugs in the realized rating; the MAR propensity marginalizes the
+  // rating out under P(r | x).
+  oracle.mnar_propensity = Matrix(m, n);
+  oracle.mar_propensity = Matrix(m, n);
+  const bool use_features = config_.mechanism != MissingMechanism::kMcar;
+  const bool use_rating = config_.mechanism == MissingMechanism::kMnar;
+  for (size_t u = 0; u < m; ++u) {
+    for (size_t i = 0; i < n; ++i) {
+      double base = config_.base_logit;
+      if (use_features) {
+        base += config_.feature_coef *
+                    (oracle.star_score(u, i) - config_.rating_mean) +
+                config_.aux_coef * oracle.aux_score(u, i);
+      }
+      if (use_rating) {
+        oracle.mnar_propensity(u, i) = Sigmoid(
+            base + config_.rating_coef * (oracle.star_rating(u, i) - 3.0));
+        double marginal = 0.0;
+        for (int k = 1; k <= 5; ++k) {
+          marginal +=
+              StarProbability(oracle.star_score(u, i), k,
+                              config_.rating_noise) *
+              Sigmoid(base + config_.rating_coef * (k - 3.0));
+        }
+        oracle.mar_propensity(u, i) = marginal;
+      } else {
+        const double p = Sigmoid(base);
+        oracle.mnar_propensity(u, i) = p;
+        oracle.mar_propensity(u, i) = p;
+      }
+    }
+  }
+  oracle.mcar_propensity = oracle.mar_propensity.Mean();
+
+  // Realize the training observations and the MCAR test slice.
+  SimulatedData out;
+  out.dataset = RatingDataset(m, n);
+  for (size_t u = 0; u < m; ++u) {
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(oracle.mnar_propensity(u, i))) {
+        out.dataset.AddTrain(static_cast<uint32_t>(u),
+                             static_cast<uint32_t>(i), oracle.label(u, i));
+      }
+    }
+    for (size_t idx :
+         rng.SampleWithoutReplacement(n, config_.test_per_user)) {
+      out.dataset.AddTest(static_cast<uint32_t>(u),
+                          static_cast<uint32_t>(idx),
+                          oracle.label(u, idx));
+    }
+  }
+
+  if (config_.keep_oracle) out.oracle = std::move(oracle);
+  return out;
+}
+
+Matrix SampleObservationMask(const Matrix& propensity, Rng* rng) {
+  DTREC_CHECK(rng != nullptr);
+  Matrix mask(propensity.rows(), propensity.cols());
+  for (size_t i = 0; i < propensity.size(); ++i) {
+    mask.at_flat(i) = rng->Bernoulli(propensity.at_flat(i)) ? 1.0 : 0.0;
+  }
+  return mask;
+}
+
+}  // namespace dtrec

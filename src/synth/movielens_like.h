@@ -1,0 +1,78 @@
+#ifndef DTREC_SYNTH_MOVIELENS_LIKE_H_
+#define DTREC_SYNTH_MOVIELENS_LIKE_H_
+
+#include <cstdint>
+
+#include "data/rating_dataset.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Configuration of the semi-synthetic ML-100K pipeline (paper Section V).
+///
+/// The paper seeds the pipeline with an MF model fit to the MovieLens-100K
+/// ratings and then *discards the data*, keeping only the generated scores
+/// γ_ui. We reproduce the pipeline from Step 1's output onwards:
+///
+///   Step 1. γ_ui ∈ [0,5]: either ground-truth low-rank scores (default,
+///           deterministic) or an MF teacher fit to a sampled MNAR slice
+///           of the world (fit_teacher = true, closer to the paper's
+///           setup). η_ui = ε + (1−ε)·(γ−γmin)/(γmax−γmin)   (Eq. 11)
+///   Step 2. p_ui = (2^{η_ui} − 1)^ρ
+///   Step 3. r_ui ~ Bern(η_ui), o_ui ~ Bern(p_ui)
+///
+/// ρ controls sparsity and the strength of the r→o channel (MNAR-ness);
+/// ε controls heterogeneity noise. Both are the paper's sweep axes
+/// (Table III over ρ, Figure 3 over ε).
+struct SemiSyntheticConfig {
+  size_t num_users = 943;   ///< ML-100K shape
+  size_t num_items = 1682;  ///< ML-100K shape
+  size_t latent_dim = 8;
+  double latent_scale = 0.4;
+  double epsilon = 0.3;  ///< noise hyper-parameter of Eq. (11)
+  double rho = 1.0;      ///< sparsity/correlation hyper-parameter of Step 2
+
+  bool fit_teacher = false;   ///< run the paper's Step 1 MF fit
+  size_t teacher_observed = 100000;  ///< size of the sampled MNAR slice
+  size_t teacher_epochs = 15;
+  double teacher_lr = 0.05;
+
+  uint64_t seed = 7;
+};
+
+/// Full semi-synthetic world: the trainers see only `dataset`; the
+/// evaluation (Table III / Figure 3) scores predictions against the true
+/// conversion probabilities `eta` and realized conversions `conversion`.
+struct SemiSyntheticData {
+  RatingDataset dataset;  ///< train: observed binary conversions; test: all
+                          ///< cells of a sampled user subset (for NDCG)
+  Matrix eta;             ///< η: P(r=1 | x) per cell
+  Matrix propensity;      ///< p = (2^η − 1)^ρ per cell
+  Matrix conversion;      ///< realized r per cell
+  Matrix observation;     ///< realized o mask per cell
+};
+
+/// Generator for the semi-synthetic ML-100K experiment.
+class MovieLensLikeGenerator {
+ public:
+  explicit MovieLensLikeGenerator(const SemiSyntheticConfig& config);
+
+  Status ValidateConfig() const;
+
+  SemiSyntheticData Generate() const;
+
+  const SemiSyntheticConfig& config() const { return config_; }
+
+ private:
+  SemiSyntheticConfig config_;
+};
+
+/// Eq. (11): standardizes clipped scores into conversion probabilities.
+/// Exposed for unit tests. Requires gamma_max > gamma_min.
+double StandardizeToEta(double gamma, double gamma_min, double gamma_max,
+                        double epsilon);
+
+}  // namespace dtrec
+
+#endif  // DTREC_SYNTH_MOVIELENS_LIKE_H_

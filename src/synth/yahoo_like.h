@@ -1,0 +1,22 @@
+#ifndef DTREC_SYNTH_YAHOO_LIKE_H_
+#define DTREC_SYNTH_YAHOO_LIKE_H_
+
+#include <cstdint>
+
+#include "synth/mnar_generator.h"
+
+namespace dtrec {
+
+/// Yahoo! R3-shaped simulated dataset. The real dataset has 15,400 users ×
+/// 1,000 items with ~312k MNAR train ratings (2% density) and 54k MCAR
+/// test ratings. `scale` shrinks the user axis (scale=1.0 is full size;
+/// the default 0.1 gives 1,540 users, preserving density and protocol) so
+/// the full benchmark suite stays laptop-fast.
+SimulatedData MakeYahooLike(uint64_t seed, double scale = 0.1,
+                            bool keep_oracle = false);
+
+MnarGeneratorConfig YahooLikeConfig(uint64_t seed, double scale = 0.1);
+
+}  // namespace dtrec
+
+#endif  // DTREC_SYNTH_YAHOO_LIKE_H_

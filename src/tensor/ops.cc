@@ -1,0 +1,186 @@
+#include "tensor/ops.h"
+
+#include "util/math_util.h"
+
+namespace dtrec {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order streams through b and c rows contiguously.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+namespace {
+
+Matrix Zip(const Matrix& a, const Matrix& b, double (*f)(double, double)) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    c.at_flat(i) = f(a.at_flat(i), b.at_flat(i));
+  }
+  return c;
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  return Zip(a, b, [](double x, double y) { return x + y; });
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  return Zip(a, b, [](double x, double y) { return x - y; });
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  return Zip(a, b, [](double x, double y) { return x * y; });
+}
+
+Matrix Divide(const Matrix& a, const Matrix& b) {
+  return Zip(a, b, [](double x, double y) { return x / y; });
+}
+
+Matrix Scale(const Matrix& a, double alpha) {
+  Matrix c = a;
+  ScaleInPlace(&c, alpha);
+  return c;
+}
+
+void AddScaledInPlace(Matrix* a, const Matrix& b, double alpha) {
+  DTREC_CHECK(a != nullptr);
+  DTREC_CHECK_EQ(a->rows(), b.rows());
+  DTREC_CHECK_EQ(a->cols(), b.cols());
+  for (size_t i = 0; i < a->size(); ++i) {
+    a->at_flat(i) += alpha * b.at_flat(i);
+  }
+}
+
+void ScaleInPlace(Matrix* a, double alpha) {
+  DTREC_CHECK(a != nullptr);
+  for (size_t i = 0; i < a->size(); ++i) a->at_flat(i) *= alpha;
+}
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.at_flat(i) = f(a.at_flat(i));
+  return c;
+}
+
+Matrix SigmoidMat(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.at_flat(i) = Sigmoid(a.at_flat(i));
+  return c;
+}
+
+double RowDot(const Matrix& a, size_t r, const Matrix& b, size_t r2) {
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+  DTREC_CHECK_LT(r, a.rows());
+  DTREC_CHECK_LT(r2, b.rows());
+  const double* x = a.row(r);
+  const double* y = b.row(r2);
+  double s = 0.0;
+  for (size_t k = 0; k < a.cols(); ++k) s += x[k] * y[k];
+  return s;
+}
+
+double FlatDot(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a.at_flat(i) * b.at_flat(i);
+  return s;
+}
+
+Matrix ColSums(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.row(r);
+    for (size_t j = 0; j < a.cols(); ++j) c(0, j) += arow[j];
+  }
+  return c;
+}
+
+Matrix RowSums(const Matrix& a) {
+  Matrix c(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.row(r);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += arow[j];
+    c(r, 0) = s;
+  }
+  return c;
+}
+
+Matrix HConcat(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  c.SetColBlock(0, a);
+  c.SetColBlock(a.cols(), b);
+  return c;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<size_t>& rows) {
+  Matrix c(rows.size(), a.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    DTREC_CHECK_LT(rows[i], a.rows());
+    std::copy(a.row(rows[i]), a.row(rows[i]) + a.cols(), c.row(i));
+  }
+  return c;
+}
+
+void ScatterAddRows(Matrix* accum, const std::vector<size_t>& rows,
+                    const Matrix& grad) {
+  DTREC_CHECK(accum != nullptr);
+  DTREC_CHECK_EQ(rows.size(), grad.rows());
+  DTREC_CHECK_EQ(accum->cols(), grad.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    DTREC_CHECK_LT(rows[i], accum->rows());
+    double* dst = accum->row(rows[i]);
+    const double* src = grad.row(i);
+    for (size_t j = 0; j < grad.cols(); ++j) dst[j] += src[j];
+  }
+}
+
+}  // namespace dtrec

@@ -1,0 +1,74 @@
+#ifndef DTREC_TENSOR_OPS_H_
+#define DTREC_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace dtrec {
+
+// Free-function kernels over Matrix. All functions check shapes with
+// DTREC_CHECK and return freshly allocated results unless the name says
+// InPlace. These are the primitives the autograd ops and the analytic
+// trainers are written against.
+
+/// C = A * B. Requires A.cols() == B.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B. Requires A.rows() == B.rows(). Avoids materializing Aᵀ.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ. Requires A.cols() == B.cols(). Avoids materializing Bᵀ.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Element-wise sum / difference / product (Hadamard). Shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Element-wise division a ./ b; caller guarantees b has no zeros.
+Matrix Divide(const Matrix& a, const Matrix& b);
+
+/// alpha * A.
+Matrix Scale(const Matrix& a, double alpha);
+
+/// A += alpha * B (axpy). Shapes must match.
+void AddScaledInPlace(Matrix* a, const Matrix& b, double alpha);
+
+/// A *= alpha.
+void ScaleInPlace(Matrix* a, double alpha);
+
+/// Applies f to every entry, returning a new matrix.
+Matrix Map(const Matrix& a, const std::function<double(double)>& f);
+
+/// Element-wise logistic sigmoid (numerically stable).
+Matrix SigmoidMat(const Matrix& a);
+
+/// Row r of `a` dotted with row r2 of `b`; rows must have equal length.
+double RowDot(const Matrix& a, size_t r, const Matrix& b, size_t r2);
+
+/// Dot product treating both matrices as flat vectors; shapes must match in
+/// total size.
+double FlatDot(const Matrix& a, const Matrix& b);
+
+/// Sum over rows -> 1×cols matrix.
+Matrix ColSums(const Matrix& a);
+
+/// Sum over columns -> rows×1 matrix.
+Matrix RowSums(const Matrix& a);
+
+/// Horizontal concatenation [A | B]. Row counts must match.
+Matrix HConcat(const Matrix& a, const Matrix& b);
+
+/// Gathers the listed rows of `a` into a new matrix (one output row per
+/// index, duplicates allowed).
+Matrix GatherRows(const Matrix& a, const std::vector<size_t>& rows);
+
+/// Adds each row of `grad` into row `rows[i]` of `accum` (scatter-add, the
+/// adjoint of GatherRows).
+void ScatterAddRows(Matrix* accum, const std::vector<size_t>& rows,
+                    const Matrix& grad);
+
+}  // namespace dtrec
+
+#endif  // DTREC_TENSOR_OPS_H_

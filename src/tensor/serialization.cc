@@ -1,0 +1,68 @@
+#include "tensor/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace dtrec {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'T', 'R', 'M'};
+// Sanity bound: 1e9 entries is an 8 GB matrix — far above anything dtrec
+// produces, so larger dimensions indicate a corrupt stream.
+constexpr uint64_t kMaxEntries = 1000000000ULL;
+
+}  // namespace
+
+Status SaveMatrix(const Matrix& matrix, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  out->write(kMagic, sizeof(kMagic));
+  const uint64_t rows = matrix.rows();
+  const uint64_t cols = matrix.cols();
+  out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out->write(reinterpret_cast<const char*>(matrix.data()),
+             static_cast<std::streamsize>(matrix.size() * sizeof(double)));
+  if (!out->good()) return Status::Internal("matrix write failed");
+  return Status::OK();
+}
+
+Result<Matrix> LoadMatrix(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  char magic[4];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad matrix magic");
+  }
+  uint64_t rows = 0, cols = 0;
+  in->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in->good()) return Status::InvalidArgument("truncated matrix header");
+  if (rows * cols > kMaxEntries) {
+    return Status::InvalidArgument("unreasonable matrix dimensions");
+  }
+  Matrix matrix(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  in->read(reinterpret_cast<char*>(matrix.data()),
+           static_cast<std::streamsize>(matrix.size() * sizeof(double)));
+  if (in->gcount() !=
+      static_cast<std::streamsize>(matrix.size() * sizeof(double))) {
+    return Status::InvalidArgument("truncated matrix payload");
+  }
+  return matrix;
+}
+
+Status SaveMatrixFile(const Matrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveMatrix(matrix, &out);
+}
+
+Result<Matrix> LoadMatrixFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  return LoadMatrix(&in);
+}
+
+}  // namespace dtrec

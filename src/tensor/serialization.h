@@ -1,0 +1,28 @@
+#ifndef DTREC_TENSOR_SERIALIZATION_H_
+#define DTREC_TENSOR_SERIALIZATION_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Binary Matrix serialization: magic "DTRM", u64 rows, u64 cols, then
+/// rows·cols little-endian doubles. Host byte order is assumed (the
+/// format is a local checkpoint, not a wire format).
+Status SaveMatrix(const Matrix& matrix, std::ostream* out);
+
+/// Reads one matrix written by SaveMatrix; fails on bad magic, truncated
+/// payload, or absurd dimensions.
+Result<Matrix> LoadMatrix(std::istream* in);
+
+/// Whole-file convenience wrappers.
+Status SaveMatrixFile(const Matrix& matrix, const std::string& path);
+Result<Matrix> LoadMatrixFile(const std::string& path);
+
+}  // namespace dtrec
+
+#endif  // DTREC_TENSOR_SERIALIZATION_H_

@@ -1,0 +1,95 @@
+#ifndef DTREC_UTIL_LOGGING_H_
+#define DTREC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dtrec {
+
+/// Severity levels for the lightweight logger. kFatal aborts the process
+/// after emitting the message.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is emitted (default kInfo). Thread-safe
+/// in the sense of atomically observed by subsequent log calls.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message collector. Emits on destruction; aborts for
+/// kFatal. Not for direct use: see DTREC_LOG / DTREC_CHECK below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Severity aliases so DTREC_LOG(INFO) reads like the classic glog macro.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+inline constexpr LogLevel kFATAL = LogLevel::kFatal;
+
+}  // namespace internal_logging
+}  // namespace dtrec
+
+/// Usage: DTREC_LOG(INFO) << "trained " << n << " epochs";
+#define DTREC_LOG(severity)                                               \
+  ::dtrec::internal_logging::LogMessage(                                  \
+      ::dtrec::internal_logging::k##severity, __FILE__, __LINE__)         \
+      .stream()
+
+/// Fatal unless `cond` holds. Use for programmer errors / violated
+/// invariants on hot paths (cheap test, no allocation when passing).
+#define DTREC_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::dtrec::internal_logging::LogMessage(::dtrec::LogLevel::kFatal,      \
+                                          __FILE__, __LINE__)             \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#define DTREC_CHECK_EQ(a, b) DTREC_CHECK((a) == (b))
+#define DTREC_CHECK_NE(a, b) DTREC_CHECK((a) != (b))
+#define DTREC_CHECK_LT(a, b) DTREC_CHECK((a) < (b))
+#define DTREC_CHECK_LE(a, b) DTREC_CHECK((a) <= (b))
+#define DTREC_CHECK_GT(a, b) DTREC_CHECK((a) > (b))
+#define DTREC_CHECK_GE(a, b) DTREC_CHECK((a) >= (b))
+
+/// Debug-only check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DTREC_DCHECK(cond) \
+  if (true) {              \
+  } else /* NOLINT */      \
+    ::dtrec::internal_logging::NullStream()
+#else
+#define DTREC_DCHECK(cond) DTREC_CHECK(cond)
+#endif
+
+#endif  // DTREC_UTIL_LOGGING_H_

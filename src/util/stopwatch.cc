@@ -1,0 +1,5 @@
+#include "util/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit anchors the target so the
+// module shows up in the library inventory and keeps room for future
+// platform-specific timers (e.g. CPU-time clocks).

@@ -1,0 +1,31 @@
+#ifndef DTREC_UTIL_STOPWATCH_H_
+#define DTREC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dtrec {
+
+/// Wall-clock stopwatch used to instrument training/inference time for the
+/// efficiency experiments (paper Table VI, Figure 5).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_UTIL_STOPWATCH_H_

@@ -1,0 +1,47 @@
+#ifndef DTREC_UTIL_TABLE_WRITER_H_
+#define DTREC_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// console table (the format the benchmark harness prints, mirroring the
+/// paper's tables) or as CSV for downstream plotting.
+class TableWriter {
+ public:
+  /// `title` is printed above the console rendering, e.g.
+  /// "Table III: semi-synthetic ML-100K".
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders an aligned, pipe-separated table.
+  void RenderConsole(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  void RenderCsv(std::ostream& os) const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsvFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtrec
+
+#endif  // DTREC_UTIL_TABLE_WRITER_H_

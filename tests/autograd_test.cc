@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+/// Builds the loss graph on `tape`, creating one leaf per entry of
+/// `params` (pushed into `leaves` in order).
+using GraphBuilder = std::function<ag::Var(
+    ag::Tape* tape, std::vector<ag::Var>* leaves,
+    const std::vector<Matrix>& params)>;
+
+/// Verifies every analytic leaf gradient against central differences.
+void CheckGradients(const GraphBuilder& builder, std::vector<Matrix> params,
+                    double tol = 2e-6) {
+  // Analytic gradients.
+  ag::Tape tape;
+  std::vector<ag::Var> leaves;
+  ag::Var loss = builder(&tape, &leaves, params);
+  ASSERT_EQ(leaves.size(), params.size());
+  tape.Backward(loss);
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    auto loss_value = [&]() {
+      ag::Tape fresh;
+      std::vector<ag::Var> fresh_leaves;
+      return builder(&fresh, &fresh_leaves, params).value()(0, 0);
+    };
+    const Matrix numeric =
+        ag::NumericalGradient(loss_value, &params[i], 1e-5);
+    const double err =
+        ag::RelativeGradError(tape.GradOf(leaves[i]), numeric);
+    EXPECT_LT(err, tol) << "param " << i << " gradient mismatch";
+  }
+}
+
+Matrix RandomMat(size_t r, size_t c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  return Matrix::RandomNormal(r, c, scale, &rng);
+}
+
+// -------------------------------------------------------------- Tape basics
+
+TEST(TapeTest, LeafHoldsValueAndZeroGrad) {
+  ag::Tape tape;
+  ag::Var v = tape.Leaf(Matrix{{1, 2}});
+  EXPECT_TRUE((v.value() == Matrix{{1, 2}}));
+  EXPECT_DOUBLE_EQ(v.grad()(0, 0), 0.0);
+}
+
+TEST(TapeTest, BackwardSeedsLossGradient) {
+  ag::Tape tape;
+  ag::Var v = tape.Leaf(Matrix{{3}});
+  ag::Var loss = ag::Sum(v);
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(loss.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(v.grad()(0, 0), 1.0);
+}
+
+TEST(TapeTest, UnreachableBranchGetsNoGradient) {
+  ag::Tape tape;
+  ag::Var a = tape.Leaf(Matrix{{1}});
+  ag::Var b = tape.Leaf(Matrix{{2}});
+  ag::Var unused = ag::Scale(b, 10.0);  // separate head, not in loss
+  ag::Var loss = ag::Sum(a);
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(unused.grad()(0, 0), 0.0);
+}
+
+TEST(TapeTest, ResetInvalidatesNodes) {
+  ag::Tape tape;
+  tape.Leaf(Matrix{{1}});
+  EXPECT_EQ(tape.num_nodes(), 1u);
+  tape.Reset();
+  EXPECT_EQ(tape.num_nodes(), 0u);
+}
+
+TEST(TapeTest, DetachBlocksGradient) {
+  ag::Tape tape;
+  ag::Var a = tape.Leaf(Matrix{{2}});
+  ag::Var d = ag::Detach(ag::Scale(a, 3.0));
+  ag::Var loss = ag::Sum(ag::Mul(d, a));  // loss = 6a via detached const
+  tape.Backward(loss);
+  // d(loss)/da = d.value = 6 (no flow through the detached path).
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 6.0);
+}
+
+TEST(TapeTest, GradientAccumulatesOverReuse) {
+  ag::Tape tape;
+  ag::Var a = tape.Leaf(Matrix{{3}});
+  ag::Var loss = ag::Sum(ag::Add(a, a));
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+}
+
+// ------------------------------------------------------ per-op grad checks
+
+TEST(GradCheckTest, AddSubMul) {
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        ag::Var x = (*leaves)[0], y = (*leaves)[1];
+        return ag::Sum(ag::Mul(ag::Add(x, y), ag::Sub(x, y)));
+      },
+      {RandomMat(3, 4, 1), RandomMat(3, 4, 2)});
+}
+
+TEST(GradCheckTest, DivAndDivScalar) {
+  Matrix denom = RandomMat(2, 3, 3);
+  for (size_t i = 0; i < denom.size(); ++i) {
+    denom.at_flat(i) = 1.5 + std::fabs(denom.at_flat(i));
+  }
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        ag::Var quotient = ag::Div((*leaves)[0], (*leaves)[1]);
+        ag::Var denom_sum = ag::AddScalar(ag::Sum((*leaves)[1]), 20.0);
+        return ag::Sum(ag::DivScalar(quotient, denom_sum));
+      },
+      {RandomMat(2, 3, 4), denom});
+}
+
+TEST(GradCheckTest, MatMulAndTranspose) {
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        ag::Var prod = ag::MatMul((*leaves)[0], (*leaves)[1]);
+        return ag::Sum(ag::MatMul(prod, ag::Transpose(prod)));
+      },
+      {RandomMat(3, 4, 5, 0.5), RandomMat(4, 2, 6, 0.5)});
+}
+
+TEST(GradCheckTest, UnaryOps) {
+  Matrix positive = RandomMat(3, 3, 7);
+  for (size_t i = 0; i < positive.size(); ++i) {
+    positive.at_flat(i) = 0.5 + std::fabs(positive.at_flat(i));
+  }
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        ag::Var x = (*leaves)[0];
+        ag::Var term = ag::Add(ag::Sigmoid(x), ag::Exp(ag::Scale(x, -0.5)));
+        term = ag::Add(term, ag::Log(x));
+        term = ag::Add(term, ag::Square(x));
+        return ag::Mean(term);
+      },
+      {positive});
+}
+
+TEST(GradCheckTest, ReluSubgradient) {
+  // Entries away from 0 so the subgradient is well-defined for FD.
+  Matrix x{{1.0, -2.0, 0.5, -0.25}};
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        return ag::Sum(ag::Relu((*leaves)[0]));
+      },
+      {x});
+}
+
+TEST(GradCheckTest, FrobeniusAndWeightedSum) {
+  const Matrix w = RandomMat(3, 2, 8);
+  CheckGradients(
+      [w](ag::Tape* t, std::vector<ag::Var>* leaves,
+          const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        ag::Var x = (*leaves)[0];
+        return ag::Add(ag::FrobeniusSq(x), ag::WeightedSumElems(x, w));
+      },
+      {RandomMat(3, 2, 9)});
+}
+
+TEST(GradCheckTest, GatherRowsWithDuplicates) {
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        ag::Var g = ag::GatherRows((*leaves)[0], {0, 2, 2, 1});
+        return ag::Sum(ag::Square(g));
+      },
+      {RandomMat(3, 4, 10)});
+}
+
+TEST(GradCheckTest, HConcatAndRowwiseDot) {
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        ag::Var cat = ag::HConcat((*leaves)[0], (*leaves)[1]);
+        return ag::Sum(ag::RowwiseDot(cat, cat));
+      },
+      {RandomMat(4, 2, 11), RandomMat(4, 3, 12)});
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        return ag::Sum(
+            ag::Square(ag::AddRowBroadcast((*leaves)[0], (*leaves)[1])));
+      },
+      {RandomMat(5, 3, 13), RandomMat(1, 3, 14)});
+}
+
+TEST(GradCheckTest, MulConstAndScaleAddScalar) {
+  const Matrix m = RandomMat(2, 2, 15);
+  CheckGradients(
+      [m](ag::Tape* t, std::vector<ag::Var>* leaves,
+          const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        ag::Var x = ag::AddScalar(ag::Scale((*leaves)[0], 1.7), -0.3);
+        return ag::Sum(ag::MulConst(x, m));
+      },
+      {RandomMat(2, 2, 16)});
+}
+
+TEST(GradCheckTest, SigmoidBceSumMatchesCompositeAndGradient) {
+  Rng rng(17);
+  Matrix logits = Matrix::RandomNormal(4, 1, 2.0, &rng);
+  Matrix targets(4, 1);
+  for (size_t i = 0; i < 4; ++i) targets(i, 0) = rng.Bernoulli(0.5);
+  Matrix weights(4, 1, 0.25);
+
+  // Value equals the composite −Σ w·[y·logσ + (1−y)·log(1−σ)].
+  ag::Tape tape;
+  ag::Var l = tape.Leaf(logits);
+  ag::Var bce = ag::SigmoidBceSum(l, targets, weights);
+  double expected = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-logits(i, 0)));
+    expected -= 0.25 * (targets(i, 0) * std::log(p) +
+                        (1 - targets(i, 0)) * std::log(1 - p));
+  }
+  EXPECT_NEAR(bce.value()(0, 0), expected, 1e-10);
+
+  CheckGradients(
+      [targets, weights](ag::Tape* t, std::vector<ag::Var>* leaves,
+                         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        return ag::SigmoidBceSum((*leaves)[0], targets, weights);
+      },
+      {logits});
+}
+
+TEST(GradCheckTest, GramFrobeniusSqMatchesNaiveValueAndGradient) {
+  Matrix a = RandomMat(6, 3, 18, 0.7);
+  Matrix b = RandomMat(5, 3, 19, 0.7);
+  ag::Tape tape;
+  ag::Var va = tape.Leaf(a);
+  ag::Var vb = tape.Leaf(b);
+  ag::Var gram = ag::GramFrobeniusSq(va, vb);
+  const double naive = MatMulTransB(a, b).FrobeniusNormSquared();
+  EXPECT_NEAR(gram.value()(0, 0), naive, 1e-9 * (1.0 + naive));
+
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        return ag::GramFrobeniusSq((*leaves)[0], (*leaves)[1]);
+      },
+      {a, b});
+}
+
+// A realistic composite: the full DT-IPS-style step graph.
+TEST(GradCheckTest, CompositeMfLossGraph) {
+  const std::vector<size_t> users{0, 1, 1, 2};
+  const std::vector<size_t> items{1, 0, 2, 1};
+  Matrix labels{{1}, {0}, {1}, {0}};
+  Matrix weights{{0.5}, {0.0}, {2.0}, {0.25}};
+  CheckGradients(
+      [&](ag::Tape* t, std::vector<ag::Var>* leaves,
+          const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));  // P
+        leaves->push_back(t->Leaf(p[1]));  // Q
+        ag::Var pu = ag::GatherRows((*leaves)[0], users);
+        ag::Var qi = ag::GatherRows((*leaves)[1], items);
+        ag::Var probs = ag::Sigmoid(ag::RowwiseDot(pu, qi));
+        ag::Var e = ag::Square(ag::Sub(t->Constant(labels), probs));
+        ag::Var ips = ag::WeightedSumElems(e, weights);
+        ag::Var ortho = ag::FrobeniusSq(
+            ag::MatMul(ag::Transpose((*leaves)[0]), (*leaves)[1]));
+        return ag::Add(ips, ag::Scale(ortho, 1e-3));
+      },
+      {RandomMat(3, 3, 20, 0.5), RandomMat(3, 3, 21, 0.5)});
+}
+
+// ----------------------------------------------- parameterized shape sweep
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, GradientHoldsAcrossShapes) {
+  const auto [m, k, n] = GetParam();
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        leaves->push_back(t->Leaf(p[1]));
+        return ag::Sum(ag::MatMul((*leaves)[0], (*leaves)[1]));
+      },
+      {RandomMat(m, k, 100 + m, 0.5), RandomMat(k, n, 200 + n, 0.5)});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
+                      std::make_tuple(4, 1, 4), std::make_tuple(3, 7, 2),
+                      std::make_tuple(6, 2, 6)));
+
+TEST(GradCheckTest, SameVarUsedTwiceInOneOp) {
+  // Mul(a, a) must accumulate both partials into the single parent.
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        return ag::Sum(ag::Mul((*leaves)[0], (*leaves)[0]));
+      },
+      {RandomMat(3, 3, 30)});
+}
+
+TEST(GradCheckTest, DeepChainGraph) {
+  // 40 chained ops: exercises the reverse sweep over a long tape.
+  CheckGradients(
+      [](ag::Tape* t, std::vector<ag::Var>* leaves,
+         const std::vector<Matrix>& p) {
+        leaves->push_back(t->Leaf(p[0]));
+        ag::Var x = (*leaves)[0];
+        for (int i = 0; i < 40; ++i) {
+          x = ag::AddScalar(ag::Scale(ag::Sigmoid(x), 1.1), -0.05);
+        }
+        return ag::Mean(x);
+      },
+      {RandomMat(2, 3, 31)},
+      /*tol=*/5e-5);
+}
+
+TEST(TapeTest, ConstantReceivesNoBackwardCall) {
+  ag::Tape tape;
+  ag::Var c = tape.Constant(Matrix{{2.0}});
+  ag::Var a = tape.Leaf(Matrix{{3.0}});
+  ag::Var loss = ag::Sum(ag::Mul(a, c));
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+}
+
+TEST(NumericalGradientTest, QuadraticExact) {
+  Matrix x{{2.0, -1.0}};
+  auto f = [&]() { return x(0, 0) * x(0, 0) + 3.0 * x(0, 1); };
+  Matrix g = ag::NumericalGradient(f, &x);
+  EXPECT_NEAR(g(0, 0), 4.0, 1e-6);
+  EXPECT_NEAR(g(0, 1), 3.0, 1e-6);
+  // x restored after probing.
+  EXPECT_DOUBLE_EQ(x(0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace dtrec

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/pointwise.h"
+#include "metrics/ranking.h"
+#include "metrics/stats.h"
+#include "metrics/ttest.h"
+
+namespace dtrec {
+namespace {
+
+// -------------------------------------------------------------- pointwise
+
+TEST(PointwiseTest, MseMaeHandComputed) {
+  Matrix pred{{1.0, 2.0}};
+  Matrix target{{0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(pred, target), (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, target), (1.0 + 2.0) / 2.0);
+}
+
+TEST(PointwiseTest, VectorOverloads) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError(std::vector<double>{1, 3},
+                                    std::vector<double>{1, 1}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(std::vector<double>{1, 3},
+                                     std::vector<double>{1, 1}),
+                   1.0);
+}
+
+TEST(PointwiseTest, MaskedMse) {
+  Matrix pred{{1.0, 5.0}};
+  Matrix target{{0.0, 0.0}};
+  Matrix mask{{1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(MaskedMeanSquaredError(pred, target, mask), 1.0);
+}
+
+TEST(PointwiseTest, BceAndEce) {
+  const std::vector<double> prob{0.9, 0.1};
+  const std::vector<double> label{1.0, 0.0};
+  EXPECT_NEAR(MeanBinaryCrossEntropy(prob, label), -std::log(0.9), 1e-12);
+
+  // Perfectly calibrated predictions -> ECE 0 within a bin.
+  const std::vector<double> p2{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> l2{1, 0, 0, 0};
+  EXPECT_NEAR(ExpectedCalibrationError(p2, l2, 4), 0.0, 1e-12);
+  // Fully miscalibrated.
+  const std::vector<double> p3{0.99, 0.99};
+  const std::vector<double> l3{0, 0};
+  EXPECT_NEAR(ExpectedCalibrationError(p3, l3, 10), 0.99, 1e-12);
+}
+
+// ---------------------------------------------------------------- ranking
+
+TEST(AucTest, PerfectAndInverted) {
+  EXPECT_DOUBLE_EQ(GlobalAuc({0.1, 0.9}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalAuc({0.9, 0.1}, {0.0, 1.0}), 0.0);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  EXPECT_DOUBLE_EQ(GlobalAuc({0.5, 0.5}, {0.0, 1.0}), 0.5);
+  // 1 pos vs 2 neg, one tie: (1 + 0.5)/2.
+  EXPECT_DOUBLE_EQ(GlobalAuc({0.5, 0.2, 0.5}, {1.0, 0.0, 0.0}), 0.75);
+}
+
+TEST(AucTest, HandComputed) {
+  // scores pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = (0.8>0.6, 0.8>0.2,
+  // 0.4<0.6, 0.4>0.2) = 3 of 4.
+  EXPECT_DOUBLE_EQ(GlobalAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0.9, 0.8, 0.1}, {1, 1, 0}, 2), 1.0);
+}
+
+TEST(NdcgTest, HandComputed) {
+  // One positive ranked 2nd of 3, K=3: DCG = 1/log2(3), IDCG = 1.
+  EXPECT_NEAR(NdcgAtK({0.9, 0.8, 0.1}, {0, 1, 0}, 3),
+              1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgTest, NoPositivesGivesZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0.9, 0.1}, {0, 0}, 2), 0.0);
+}
+
+TEST(RecallTest, HandComputed) {
+  // 2 positives, K=1, best positive ranked first: 1/min(1,2) = 1.
+  EXPECT_DOUBLE_EQ(RecallAtK({0.9, 0.8, 0.1}, {1, 1, 0}, 1), 1.0);
+  // positive ranked last, K=1 -> 0.
+  EXPECT_DOUBLE_EQ(RecallAtK({0.9, 0.8, 0.1}, {0, 0, 1}, 1), 0.0);
+  // 2 positives, 1 in top-2: 1/min(2,2) = 0.5.
+  EXPECT_DOUBLE_EQ(RecallAtK({0.9, 0.8, 0.7, 0.1}, {1, 0, 0, 1}, 2), 0.5);
+}
+
+TEST(RankingMetricsTest, GroupsByUser) {
+  std::vector<RatingTriple> test{
+      {0, 0, 1.0}, {0, 1, 0.0},  // user 0: pos scored higher
+      {1, 0, 0.0}, {1, 1, 1.0},  // user 1: pos scored lower
+      {2, 0, 0.0}, {2, 1, 0.0},  // user 2: no positives (skipped)
+  };
+  const std::vector<double> pred{0.9, 0.2, 0.8, 0.3, 0.5, 0.5};
+  const RankingMetrics m = ComputeRankingMetrics(test, pred, 1);
+  EXPECT_EQ(m.users_scored, 2u);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 0.5);  // user0: 1, user1: 0
+  // AUC over all: pos scores {0.9, 0.3}, negs {0.2, 0.8, 0.5, 0.5}.
+  // wins: 0.9 beats all 4; 0.3 beats 0.2 only -> 5/8.
+  EXPECT_DOUBLE_EQ(m.auc, 5.0 / 8.0);
+}
+
+TEST(AveragePrecisionTest, HandComputed) {
+  // positives ranked 1st and 3rd of 4, K=4:
+  // AP = (1/1 + 2/3)/2 = 0.8333...
+  EXPECT_NEAR(AveragePrecisionAtK({0.9, 0.5, 0.4, 0.1}, {1, 0, 1, 0}, 4),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({0.9, 0.1}, {0, 0}, 2), 0.0);
+  // K=1 with the positive on top: AP=1.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({0.9, 0.1}, {1, 0}, 1), 1.0);
+}
+
+TEST(ReciprocalRankTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0.9, 0.5, 0.1}, {0, 0, 1}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0.9, 0.5}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0.9, 0.5}, {0, 0}), 0.0);
+}
+
+TEST(CatalogCoverageTest, CountsDistinctTopKItems) {
+  // Two users, K=1: user 0's top item is item 7, user 1's top is item 7
+  // as well -> coverage 1/10.
+  std::vector<RatingTriple> test{
+      {0, 7, 1.0}, {0, 2, 0.0}, {1, 7, 1.0}, {1, 3, 0.0}};
+  const std::vector<double> pred{0.9, 0.1, 0.8, 0.2};
+  EXPECT_DOUBLE_EQ(CatalogCoverageAtK(test, pred, 1, 10), 0.1);
+  // K=2 covers items {7,2,3} -> 0.3.
+  EXPECT_DOUBLE_EQ(CatalogCoverageAtK(test, pred, 2, 10), 0.3);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(StatsTest, MeanStdHandComputed) {
+  const MeanStd ms = ComputeMeanStd({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, 1.0);
+  EXPECT_EQ(ms.n, 3u);
+  EXPECT_EQ(ms.ToString(2), "2.00±1.00");
+}
+
+TEST(StatsTest, EmptyAndSingle) {
+  EXPECT_EQ(ComputeMeanStd({}).n, 0u);
+  const MeanStd single = ComputeMeanStd({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+}
+
+TEST(RunningStatTest, MatchesBatchComputation) {
+  RunningStat stat;
+  const std::vector<double> values{1.5, -2.0, 4.0, 0.0, 3.5};
+  for (double v : values) stat.Add(v);
+  const MeanStd batch = ComputeMeanStd(values);
+  EXPECT_NEAR(stat.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(stat.stddev(), batch.std, 1e-12);
+  EXPECT_EQ(stat.count(), 5u);
+}
+
+// ------------------------------------------------------------------ ttest
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+  // I_x(2,2) = 3x² − 2x³.
+  const double x = 0.4;
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, x),
+              3 * x * x - 2 * x * x * x, 1e-10);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(StudentTCdfTest, SymmetryAndTableValues) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // Classic table: t=2.447 at dof=6 is the 97.5th percentile.
+  EXPECT_NEAR(StudentTCdf(2.447, 6.0), 0.975, 5e-4);
+  // t=1.812 at dof=10 is the 95th percentile.
+  EXPECT_NEAR(StudentTCdf(1.812, 10.0), 0.95, 5e-4);
+  EXPECT_NEAR(StudentTCdf(-2.447, 6.0), 0.025, 5e-4);
+}
+
+TEST(PairedTTestTest, SizeAndCountErrors) {
+  EXPECT_FALSE(PairedTTest({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(PairedTTest({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedTTest({1.0, 2.0}, {1.0, 2.0}).ok());  // zero diffs
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifference) {
+  const auto res = PairedTTest({2.0, 3.0, 4.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.value().p_two_sided, 0.0);
+  EXPECT_TRUE(res.value().significant());
+}
+
+TEST(PairedTTestTest, HandComputedStatistic) {
+  // diffs = {1, 2, 3}: mean 2, sd 1, t = 2/(1/√3) = 2√3 ≈ 3.464, dof 2.
+  const auto res = PairedTTest({2.0, 4.0, 6.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res.value().t_statistic, 2.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(res.value().degrees_of_freedom, 2.0, 1e-12);
+  // p (two-sided) for t=3.464, dof 2 ≈ 0.0742 — not significant at 0.05.
+  EXPECT_NEAR(res.value().p_two_sided, 0.0742, 2e-3);
+  EXPECT_FALSE(res.value().significant());
+}
+
+TEST(PairedTTestTest, ClearSeparationIsSignificant) {
+  const auto res = PairedTTest({0.74, 0.75, 0.73, 0.74, 0.75},
+                               {0.70, 0.71, 0.70, 0.69, 0.70});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().significant());
+  EXPECT_LT(res.value().p_one_sided, 0.01);
+}
+
+}  // namespace
+}  // namespace dtrec

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/embedding_table.h"
+#include "models/mf_model.h"
+#include "models/mlp.h"
+#include "models/param_count.h"
+#include "tensor/ops.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+TEST(EmbeddingTableTest, CreateAndCount) {
+  Rng rng(1);
+  EmbeddingTable table = EmbeddingTable::Create(10, 4, 0.1, &rng);
+  EXPECT_EQ(table.rows(), 10u);
+  EXPECT_EQ(table.dim(), 4u);
+  EXPECT_EQ(table.num_parameters(), 40u);
+}
+
+MfModelConfig SmallConfig(bool bias) {
+  MfModelConfig config;
+  config.num_users = 6;
+  config.num_items = 8;
+  config.dim = 3;
+  config.use_bias = bias;
+  config.seed = 42;
+  return config;
+}
+
+TEST(MfModelTest, ScoreMatchesManualDot) {
+  MfModel model(SmallConfig(false));
+  const double expected = RowDot(model.p(), 2, model.q(), 5);
+  EXPECT_DOUBLE_EQ(model.Score(2, 5), expected);
+  EXPECT_DOUBLE_EQ(model.PredictProbability(2, 5), Sigmoid(expected));
+}
+
+TEST(MfModelTest, BiasTermsAdd) {
+  MfModel model(SmallConfig(true));
+  // Bias starts at 0 so score matches the dot.
+  EXPECT_DOUBLE_EQ(model.Score(1, 1), RowDot(model.p(), 1, model.q(), 1));
+  EXPECT_EQ(model.Params().size(), 4u);
+  EXPECT_EQ(model.NumParameters(), 6u * 3u + 8u * 3u + 6u + 8u);
+}
+
+TEST(MfModelTest, FullProbabilityMatrixConsistent) {
+  MfModel model(SmallConfig(false));
+  const Matrix full = model.FullProbabilityMatrix();
+  EXPECT_EQ(full.rows(), 6u);
+  EXPECT_EQ(full.cols(), 8u);
+  for (size_t u = 0; u < 6; ++u) {
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(full(u, i), model.PredictProbability(u, i), 1e-12);
+    }
+  }
+}
+
+TEST(MfModelTest, BatchLogitsMatchScalarScores) {
+  MfModel model(SmallConfig(true));
+  ag::Tape tape;
+  const auto leaves = model.MakeLeaves(&tape);
+  const std::vector<size_t> users{0, 3, 5};
+  const std::vector<size_t> items{7, 2, 0};
+  ag::Var logits = model.BatchLogits(&tape, leaves, users, items);
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_NEAR(logits.value()(i, 0), model.Score(users[i], items[i]),
+                1e-12);
+  }
+}
+
+TEST(MlpHeadTest, ForwardConsistency) {
+  Rng rng(3);
+  MlpHead head(4, 5, 0.5, &rng);
+  EXPECT_EQ(head.input_dim(), 4u);
+  EXPECT_EQ(head.hidden_dim(), 5u);
+  EXPECT_EQ(head.NumParameters(), 4u * 5u + 5u + 5u + 1u);
+
+  Matrix input = Matrix::RandomNormal(3, 4, 1.0, &rng);
+  // Autograd forward equals the plain per-row forward.
+  ag::Tape tape;
+  const auto leaves = head.MakeLeaves(&tape);
+  ag::Var batch_out = head.Forward(leaves, tape.Leaf(input));
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(batch_out.value()(r, 0), head.Forward(input.RowCopy(r)),
+                1e-12);
+  }
+}
+
+TEST(MlpHeadTest, TrainableOnXorLikeTask) {
+  Rng rng(7);
+  MlpHead head(2, 8, 0.7, &rng);
+  // Simple separable task: logit should learn sign of x0.
+  Matrix inputs(64, 2);
+  Matrix labels(64, 1);
+  for (size_t i = 0; i < 64; ++i) {
+    inputs(i, 0) = rng.Normal();
+    inputs(i, 1) = rng.Normal();
+    labels(i, 0) = inputs(i, 0) > 0 ? 1.0 : 0.0;
+  }
+  const Matrix w(64, 1, 1.0 / 64.0);
+  for (int step = 0; step < 300; ++step) {
+    ag::Tape tape;
+    const auto leaves = head.MakeLeaves(&tape);
+    ag::Var out = head.Forward(leaves, tape.Constant(inputs));
+    ag::Var loss = ag::SigmoidBceSum(out, labels, w);
+    tape.Backward(loss);
+    auto params = head.Params();
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      AddScaledInPlace(params[i], tape.GradOf(leaves[i]), -0.5);
+    }
+  }
+  // Training fits: accuracy > 90%.
+  size_t correct = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    const double logit = head.Forward(inputs.RowCopy(i));
+    correct += ((logit > 0) == (labels(i, 0) > 0.5)) ? 1 : 0;
+  }
+  EXPECT_GT(correct, 57u);
+}
+
+TEST(ParamCountTest, BudgetTotals) {
+  ParamBudget budget;
+  budget.embedding_params = 100;
+  budget.hidden_params = 20;
+  budget.other_params = 3;
+  EXPECT_EQ(budget.total(), 123u);
+}
+
+TEST(ParamCountTest, RelativeSizeRounding) {
+  EXPECT_EQ(RelativeSize(100, 100), "1x");
+  EXPECT_EQ(RelativeSize(210, 100), "2x");
+  EXPECT_EQ(RelativeSize(150, 100), "1.5x");
+  EXPECT_EQ(RelativeSize(300, 100), "3x");
+  EXPECT_EQ(RelativeSize(10, 0), "n/a");
+}
+
+}  // namespace
+}  // namespace dtrec

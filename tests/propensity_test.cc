@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "propensity/logistic_propensity.h"
+#include "propensity/mf_propensity.h"
+#include "propensity/popularity_propensity.h"
+#include "propensity/propensity.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+TEST(ClipPropensityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(ClipPropensity(0.001, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(ClipPropensity(0.5, 0.05), 0.5);
+  EXPECT_DOUBLE_EQ(ClipPropensity(1.7, 0.05), 1.0);
+}
+
+RatingDataset MakeBiasedDataset(size_t m, size_t n, uint64_t seed,
+                                double base_rate = 0.2) {
+  RatingDataset ds(m, n);
+  Rng rng(seed);
+  for (uint32_t u = 0; u < m; ++u) {
+    // First half of the users are twice as active.
+    const double user_boost = u < m / 2 ? 2.0 : 1.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double item_boost = i < n / 2 ? 1.5 : 0.5;
+      if (rng.Bernoulli(base_rate * user_boost * item_boost / 2.0)) {
+        ds.AddTrain(u, i, rng.Bernoulli(0.6) ? 1.0 : 0.0);
+      }
+    }
+  }
+  for (uint32_t u = 0; u < m; ++u) {
+    ds.AddTest(u, u % n, rng.Bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  return ds;
+}
+
+TEST(ConstantPropensityTest, EqualsDensity) {
+  RatingDataset ds = MakeBiasedDataset(40, 40, 1);
+  ConstantPropensity model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_DOUBLE_EQ(model.Propensity(0, 0), ds.TrainDensity());
+  EXPECT_DOUBLE_EQ(model.Propensity(39, 39), ds.TrainDensity());
+  // PropensityGivenRating defaults to the rating-free value.
+  EXPECT_DOUBLE_EQ(model.PropensityGivenRating(0, 0, 1.0),
+                   model.Propensity(0, 0));
+}
+
+TEST(PopularityPropensityTest, ReflectsActivity) {
+  RatingDataset ds = MakeBiasedDataset(60, 60, 2);
+  PopularityPropensity model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  // Active user (front half) × popular item should exceed inactive user ×
+  // unpopular item.
+  EXPECT_GT(model.Propensity(0, 0), model.Propensity(59, 59));
+  // All propensities valid.
+  for (size_t u = 0; u < 60; u += 7) {
+    for (size_t i = 0; i < 60; i += 11) {
+      const double p = model.Propensity(u, i);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(PopularityPropensityTest, RejectsNegativeSmoothing) {
+  PopularityPropensity model(-1.0);
+  RatingDataset ds = MakeBiasedDataset(10, 10, 3);
+  EXPECT_FALSE(model.Fit(ds).ok());
+}
+
+TEST(NaiveBayesPropensityTest, RequiresUnbiasedSlice) {
+  RatingDataset ds(5, 5);
+  ds.AddTrain(0, 0, 1.0);
+  NaiveBayesPropensity model;
+  EXPECT_EQ(model.Fit(ds).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NaiveBayesPropensityTest, RequiresBinaryRatings) {
+  RatingDataset ds(5, 5);
+  ds.AddTrain(0, 0, 3.5);
+  ds.AddTest(0, 1, 1.0);
+  NaiveBayesPropensity model;
+  EXPECT_EQ(model.Fit(ds).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NaiveBayesPropensityTest, RecoversRatingDependence) {
+  // World: P(o=1|r=1) = 0.4, P(o=1|r=0) = 0.1, P(r=1) = 0.5.
+  RatingDataset ds(200, 200);
+  Rng rng(5);
+  for (uint32_t u = 0; u < 200; ++u) {
+    for (uint32_t i = 0; i < 200; ++i) {
+      const bool r = rng.Bernoulli(0.5);
+      if (rng.Bernoulli(r ? 0.4 : 0.1)) {
+        ds.AddTrain(u, i, r ? 1.0 : 0.0);
+      }
+    }
+    // MCAR test slice records the true marginal.
+    ds.AddTest(u, u % 200, rng.Bernoulli(0.5) ? 1.0 : 0.0);
+  }
+  NaiveBayesPropensity model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_NEAR(model.PropensityGivenRating(0, 0, 1.0), 0.4, 0.05);
+  EXPECT_NEAR(model.PropensityGivenRating(0, 0, 0.0), 0.1, 0.05);
+}
+
+TEST(LogisticPropensityTest, LearnsUserItemPattern) {
+  RatingDataset ds = MakeBiasedDataset(60, 60, 7, 0.3);
+  LogisticPropensityConfig config;
+  config.epochs = 6;
+  config.seed = 11;
+  LogisticPropensity model(config);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  // Average propensity approximates density.
+  double total = 0.0;
+  for (size_t u = 0; u < 60; ++u) {
+    for (size_t i = 0; i < 60; ++i) total += model.Propensity(u, i);
+  }
+  EXPECT_NEAR(total / 3600.0, ds.TrainDensity(), 0.05);
+  // Learned ordering follows the true activity pattern: active user &
+  // popular item vs inactive user & unpopular item.
+  EXPECT_GT(model.Propensity(1, 1), model.Propensity(58, 58));
+}
+
+TEST(MfPropensityTest, LearnsObservationPattern) {
+  RatingDataset ds = MakeBiasedDataset(60, 60, 9, 0.3);
+  MfPropensityConfig config;
+  config.dim = 4;
+  config.epochs = 6;
+  config.seed = 3;
+  MfPropensity model(config);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  double total = 0.0;
+  for (size_t u = 0; u < 60; ++u) {
+    for (size_t i = 0; i < 60; ++i) total += model.Propensity(u, i);
+  }
+  EXPECT_NEAR(total / 3600.0, ds.TrainDensity(), 0.06);
+  EXPECT_GT(model.Propensity(1, 1), model.Propensity(58, 58));
+  EXPECT_GT(model.NumParameters(), 0u);
+}
+
+TEST(MfPropensityTest, RejectsBadConfigAndDataset) {
+  MfPropensityConfig config;
+  config.dim = 0;
+  MfPropensity model(config);
+  RatingDataset ds = MakeBiasedDataset(10, 10, 11);
+  EXPECT_FALSE(model.Fit(ds).ok());
+  MfPropensity ok_model;
+  RatingDataset empty(3, 3);
+  EXPECT_FALSE(ok_model.Fit(empty).ok());
+}
+
+TEST(LogisticPropensityTest, FitRejectsInvalidDataset) {
+  RatingDataset empty(5, 5);
+  LogisticPropensity model;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace dtrec

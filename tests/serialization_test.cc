@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.h"
+#include "core/disentangled_embeddings.h"
+#include "models/mf_model.h"
+#include "tensor/serialization.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixSerializationTest, StreamRoundTrip) {
+  Rng rng(3);
+  const Matrix original = Matrix::RandomNormal(7, 5, 1.3, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(original, &buffer).ok());
+  auto loaded = LoadMatrix(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded.value() == original);
+}
+
+TEST(MatrixSerializationTest, FileRoundTrip) {
+  Rng rng(5);
+  const Matrix original = Matrix::RandomNormal(3, 9, 0.5, &rng);
+  const std::string path = TempPath("matrix.bin");
+  ASSERT_TRUE(SaveMatrixFile(original, path).ok());
+  auto loaded = LoadMatrixFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value() == original);
+}
+
+TEST(MatrixSerializationTest, EmptyMatrix) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(Matrix(), &buffer).ok());
+  auto loaded = LoadMatrix(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+}
+
+TEST(MatrixSerializationTest, RejectsBadMagic) {
+  std::stringstream buffer("NOPE....garbage");
+  EXPECT_FALSE(LoadMatrix(&buffer).ok());
+}
+
+TEST(MatrixSerializationTest, RejectsTruncatedPayload) {
+  Rng rng(7);
+  const Matrix original = Matrix::RandomNormal(4, 4, 1.0, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(original, &buffer).ok());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 10);  // chop the tail
+  std::stringstream truncated(bytes);
+  EXPECT_FALSE(LoadMatrix(&truncated).ok());
+}
+
+TEST(MatrixSerializationTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadMatrixFile("/no/such/matrix.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, MfModelRoundTrip) {
+  MfModelConfig config;
+  config.num_users = 10;
+  config.num_items = 12;
+  config.dim = 4;
+  config.use_bias = true;
+  config.seed = 11;
+  const MfModel original(config);
+  const std::string path = TempPath("mf.ckpt");
+  ASSERT_TRUE(SaveMfModel(original, path).ok());
+
+  config.seed = 999;  // different init — must be overwritten by the load
+  MfModel restored(config);
+  ASSERT_TRUE(LoadMfModel(path, &restored).ok());
+  for (size_t u = 0; u < 10; ++u) {
+    for (size_t i = 0; i < 12; ++i) {
+      EXPECT_DOUBLE_EQ(restored.Score(u, i), original.Score(u, i));
+    }
+  }
+}
+
+TEST(CheckpointTest, MfModelShapeMismatchRejected) {
+  MfModelConfig config;
+  config.num_users = 10;
+  config.num_items = 12;
+  config.dim = 4;
+  const MfModel original(config);
+  const std::string path = TempPath("mf_shape.ckpt");
+  ASSERT_TRUE(SaveMfModel(original, path).ok());
+
+  config.dim = 8;  // wrong shape
+  MfModel wrong(config);
+  EXPECT_EQ(LoadMfModel(path, &wrong).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, DisentangledEmbeddingsRoundTrip) {
+  Rng rng(13);
+  DisentangledEmbeddings original = DisentangledEmbeddings::Create(
+      8, 9, 6, 4, 0.2, -1.0, &rng, /*use_rating_bias=*/true);
+  const std::string path = TempPath("dt.ckpt");
+  ASSERT_TRUE(SaveDisentangledEmbeddings(original, path).ok());
+
+  Rng rng2(999);
+  DisentangledEmbeddings restored = DisentangledEmbeddings::Create(
+      8, 9, 6, 4, 0.2, 0.0, &rng2, /*use_rating_bias=*/true);
+  ASSERT_TRUE(LoadDisentangledEmbeddings(path, &restored).ok());
+  for (size_t u = 0; u < 8; ++u) {
+    for (size_t i = 0; i < 9; ++i) {
+      EXPECT_DOUBLE_EQ(restored.RatingLogit(u, i),
+                       original.RatingLogit(u, i));
+      EXPECT_DOUBLE_EQ(restored.PropensityLogit(u, i),
+                       original.PropensityLogit(u, i));
+    }
+  }
+}
+
+TEST(CheckpointTest, TrailingBytesRejected) {
+  MfModelConfig config;
+  config.num_users = 4;
+  config.num_items = 4;
+  config.dim = 2;
+  const MfModel model(config);
+  const std::string path = TempPath("trailing.ckpt");
+  ASSERT_TRUE(SaveMfModel(model, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  MfModel restored(config);
+  EXPECT_EQ(LoadMfModel(path, &restored).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dtrec

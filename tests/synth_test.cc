@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/coat_like.h"
+#include "synth/kuairec_like.h"
+#include "synth/mnar_generator.h"
+#include "synth/movielens_like.h"
+#include "synth/yahoo_like.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+TEST(StarProbabilityTest, SumsToOne) {
+  for (double score : {0.5, 2.0, 3.0, 4.5, 7.0}) {
+    double total = 0.0;
+    for (int k = 1; k <= 5; ++k) total += StarProbability(score, k, 0.8);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "score " << score;
+  }
+}
+
+TEST(StarProbabilityTest, PeaksAtNearestStar) {
+  // Score 2.0 should put the most mass on star 2.
+  double best = 0.0;
+  int best_star = 0;
+  for (int k = 1; k <= 5; ++k) {
+    const double p = StarProbability(2.0, k, 0.5);
+    if (p > best) {
+      best = p;
+      best_star = k;
+    }
+  }
+  EXPECT_EQ(best_star, 2);
+}
+
+TEST(MnarGeneratorTest, ConfigValidation) {
+  MnarGeneratorConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(MnarGenerator(config).ValidateConfig().ok());
+  config = MnarGeneratorConfig();
+  config.rating_noise = 0.0;
+  EXPECT_FALSE(MnarGenerator(config).ValidateConfig().ok());
+  config = MnarGeneratorConfig();
+  config.test_per_user = config.num_items + 1;
+  EXPECT_FALSE(MnarGenerator(config).ValidateConfig().ok());
+  EXPECT_TRUE(MnarGenerator(MnarGeneratorConfig()).ValidateConfig().ok());
+}
+
+TEST(MnarGeneratorTest, DeterministicGivenSeed) {
+  MnarGeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 50;
+  config.seed = 99;
+  const SimulatedData a = MnarGenerator(config).Generate();
+  const SimulatedData b = MnarGenerator(config).Generate();
+  EXPECT_EQ(a.dataset.train().size(), b.dataset.train().size());
+  EXPECT_TRUE(a.oracle.label == b.oracle.label);
+}
+
+TEST(MnarGeneratorTest, McarPropensityIsConstant) {
+  MnarGeneratorConfig config;
+  config.num_users = 30;
+  config.num_items = 30;
+  config.mechanism = MissingMechanism::kMcar;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  const Matrix& p = data.oracle.mnar_propensity;
+  EXPECT_NEAR(p.Min(), p.Max(), 1e-12);
+  EXPECT_NEAR(p.Mean(), data.oracle.mcar_propensity, 1e-12);
+}
+
+TEST(MnarGeneratorTest, MarPropensityIgnoresRealizedRating) {
+  MnarGeneratorConfig config;
+  config.num_users = 30;
+  config.num_items = 30;
+  config.mechanism = MissingMechanism::kMar;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  // Under MAR the "MNAR" propensity equals the MAR propensity everywhere.
+  EXPECT_TRUE(data.oracle.mnar_propensity.AllClose(
+      data.oracle.mar_propensity, 1e-12, 0.0));
+}
+
+TEST(MnarGeneratorTest, MnarPropensityDependsOnRating) {
+  MnarGeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 40;
+  config.mechanism = MissingMechanism::kMnar;
+  config.rating_coef = 1.2;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  // Cells with higher realized ratings must have (weakly) higher MNAR
+  // propensities than the MAR average when the rating is above 3, lower
+  // when below — check the aggregate correlation is positive.
+  double cov = 0.0;
+  const Matrix& rating = data.oracle.star_rating;
+  const Matrix diff = [&] {
+    Matrix d(rating.rows(), rating.cols());
+    for (size_t i = 0; i < d.size(); ++i) {
+      d.at_flat(i) = data.oracle.mnar_propensity.at_flat(i) -
+                     data.oracle.mar_propensity.at_flat(i);
+    }
+    return d;
+  }();
+  for (size_t i = 0; i < rating.size(); ++i) {
+    cov += (rating.at_flat(i) - 3.0) * diff.at_flat(i);
+  }
+  EXPECT_GT(cov, 0.0);
+}
+
+TEST(MnarGeneratorTest, MarPropensityIsRatingMarginalOfMnar) {
+  // By construction p_MAR(x) = Σ_k P(star=k|x)·σ(base + coef·(k−3)).
+  // Verify on a handful of cells by recomputing the marginal directly.
+  MnarGeneratorConfig config;
+  config.num_users = 10;
+  config.num_items = 10;
+  config.test_per_user = 5;
+  config.mechanism = MissingMechanism::kMnar;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  Rng rng(5);
+  // Empirically: average of realized MNAR propensities over rating draws
+  // approximates the MAR propensity. Use the analytic star distribution.
+  for (size_t u = 0; u < 3; ++u) {
+    for (size_t i = 0; i < 3; ++i) {
+      const double s = data.oracle.star_score(u, i);
+      double manual = 0.0;
+      for (int k = 1; k <= 5; ++k) {
+        // Reconstruct the selection logit for star k.
+        const double base =
+            config.base_logit +
+            config.feature_coef * (s - config.rating_mean) +
+            config.aux_coef * data.oracle.aux_score(u, i);
+        manual += StarProbability(s, k, config.rating_noise) /
+                  (1.0 + std::exp(-(base + config.rating_coef * (k - 3))));
+      }
+      EXPECT_NEAR(manual, data.oracle.mar_propensity(u, i), 1e-9);
+    }
+  }
+}
+
+TEST(MnarGeneratorTest, ObservedCountMatchesPropensityMass) {
+  MnarGeneratorConfig config;
+  config.num_users = 80;
+  config.num_items = 80;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  const double expected = data.oracle.mnar_propensity.Sum();
+  const double actual = static_cast<double>(data.dataset.train().size());
+  EXPECT_NEAR(actual / expected, 1.0, 0.15);
+}
+
+TEST(MnarGeneratorTest, TestSplitIsPerUserMcar) {
+  MnarGeneratorConfig config;
+  config.num_users = 25;
+  config.num_items = 40;
+  config.test_per_user = 6;
+  const SimulatedData data = MnarGenerator(config).Generate();
+  EXPECT_EQ(data.dataset.test().size(), 25u * 6u);
+  EXPECT_TRUE(data.dataset.Validate().ok());
+}
+
+TEST(SampleObservationMaskTest, MatchesPropensities) {
+  Matrix p(50, 50, 0.3);
+  Rng rng(77);
+  const Matrix mask = SampleObservationMask(p, &rng);
+  EXPECT_NEAR(mask.Mean(), 0.3, 0.03);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_TRUE(mask.at_flat(i) == 0.0 || mask.at_flat(i) == 1.0);
+  }
+}
+
+// -------------------------------------------------------------- MovieLens
+
+TEST(StandardizeToEtaTest, Formula) {
+  EXPECT_DOUBLE_EQ(StandardizeToEta(5.0, 0.0, 5.0, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(StandardizeToEta(0.0, 0.0, 5.0, 0.2), 0.2);
+  EXPECT_DOUBLE_EQ(StandardizeToEta(2.5, 0.0, 5.0, 0.0), 0.5);
+}
+
+TEST(MovieLensLikeTest, ConfigValidation) {
+  SemiSyntheticConfig config;
+  config.epsilon = 1.5;
+  EXPECT_FALSE(MovieLensLikeGenerator(config).ValidateConfig().ok());
+  config = SemiSyntheticConfig();
+  config.rho = 0.0;
+  EXPECT_FALSE(MovieLensLikeGenerator(config).ValidateConfig().ok());
+  EXPECT_TRUE(
+      MovieLensLikeGenerator(SemiSyntheticConfig()).ValidateConfig().ok());
+}
+
+SemiSyntheticConfig TinyMlConfig() {
+  SemiSyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.epsilon = 0.3;
+  config.rho = 1.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(MovieLensLikeTest, EtaRangeAndPropensityFormula) {
+  const SemiSyntheticData data =
+      MovieLensLikeGenerator(TinyMlConfig()).Generate();
+  EXPECT_GE(data.eta.Min(), 0.3 - 1e-12);
+  EXPECT_LE(data.eta.Max(), 1.0 + 1e-12);
+  for (size_t i = 0; i < data.eta.size(); i += 37) {
+    const double expected = std::pow(std::exp2(data.eta.at_flat(i)) - 1.0,
+                                     1.0);
+    EXPECT_NEAR(data.propensity.at_flat(i), expected, 1e-12);
+  }
+}
+
+TEST(MovieLensLikeTest, HigherRhoMeansSparser) {
+  SemiSyntheticConfig config = TinyMlConfig();
+  config.rho = 0.5;
+  const auto dense = MovieLensLikeGenerator(config).Generate();
+  config.rho = 1.5;
+  const auto sparse = MovieLensLikeGenerator(config).Generate();
+  EXPECT_GT(dense.dataset.train().size(), sparse.dataset.train().size());
+}
+
+TEST(MovieLensLikeTest, TrainSetMatchesObservationMask) {
+  const SemiSyntheticData data =
+      MovieLensLikeGenerator(TinyMlConfig()).Generate();
+  EXPECT_NEAR(static_cast<double>(data.dataset.train().size()),
+              data.observation.Sum(), 0.5);
+  for (const auto& t : data.dataset.train()) {
+    EXPECT_DOUBLE_EQ(data.observation(t.user, t.item), 1.0);
+    EXPECT_DOUBLE_EQ(data.conversion(t.user, t.item), t.rating);
+  }
+}
+
+TEST(MovieLensLikeTest, TeacherModeRuns) {
+  SemiSyntheticConfig config = TinyMlConfig();
+  config.fit_teacher = true;
+  config.teacher_observed = 2000;
+  config.teacher_epochs = 3;
+  const SemiSyntheticData data =
+      MovieLensLikeGenerator(config).Generate();
+  EXPECT_TRUE(data.dataset.Validate().ok());
+  EXPECT_GE(data.eta.Min(), config.epsilon - 1e-12);
+}
+
+// ----------------------------------------------------------- preset shapes
+
+TEST(CoatLikeTest, ShapeAndProtocol) {
+  const SimulatedData data = MakeCoatLike(3);
+  EXPECT_EQ(data.dataset.num_users(), 290u);
+  EXPECT_EQ(data.dataset.num_items(), 300u);
+  EXPECT_EQ(data.dataset.test().size(), 290u * 16u);
+  // ~24 MNAR ratings per user (generous tolerance: world is random).
+  const double per_user = static_cast<double>(data.dataset.train().size()) /
+                          290.0;
+  EXPECT_GT(per_user, 12.0);
+  EXPECT_LT(per_user, 48.0);
+  // Labels are binary.
+  for (const auto& t : data.dataset.train()) {
+    EXPECT_TRUE(t.rating == 0.0 || t.rating == 1.0);
+  }
+}
+
+TEST(YahooLikeTest, ScaleControlsUsers) {
+  const auto config_small = YahooLikeConfig(1, 0.05);
+  const auto config_large = YahooLikeConfig(1, 0.2);
+  EXPECT_EQ(config_small.num_items, 1000u);
+  EXPECT_GT(config_large.num_users, config_small.num_users);
+}
+
+TEST(KuaiRecLikeTest, ConfigValidationAndShape) {
+  KuaiRecLikeConfig bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(ValidateKuaiRecConfig(bad).ok());
+  bad = KuaiRecLikeConfig();
+  bad.test_user_fraction = 0.0;
+  EXPECT_FALSE(ValidateKuaiRecConfig(bad).ok());
+
+  KuaiRecLikeConfig config;
+  config.scale = 0.02;
+  config.seed = 9;
+  config.keep_oracle = true;
+  const KuaiRecLikeData data = MakeKuaiRecLike(config);
+  EXPECT_TRUE(data.dataset.Validate().ok());
+  EXPECT_GT(data.dataset.TrainDensity(), 0.03);
+  EXPECT_LT(data.dataset.TrainDensity(), 0.6);
+  // Dense fully-observed test block.
+  const size_t test_users = static_cast<size_t>(
+      config.test_user_fraction *
+      static_cast<double>(data.dataset.num_users()));
+  const size_t test_items = static_cast<size_t>(
+      config.test_item_fraction *
+      static_cast<double>(data.dataset.num_items()));
+  EXPECT_EQ(data.dataset.test().size(), test_users * test_items);
+  // Binarization at watch ratio 1.0.
+  for (size_t i = 0; i < 100; ++i) {
+    const auto& t = data.dataset.test()[i];
+    const double expected =
+        data.watch_ratio(t.user, t.item) >= 1.0 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(t.rating, expected);
+  }
+}
+
+}  // namespace
+}  // namespace dtrec
