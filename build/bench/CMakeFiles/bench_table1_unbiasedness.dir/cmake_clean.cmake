@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_unbiasedness.dir/bench_table1_unbiasedness.cc.o"
+  "CMakeFiles/bench_table1_unbiasedness.dir/bench_table1_unbiasedness.cc.o.d"
+  "bench_table1_unbiasedness"
+  "bench_table1_unbiasedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_unbiasedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_semisynthetic.dir/bench_table3_semisynthetic.cc.o"
+  "CMakeFiles/bench_table3_semisynthetic.dir/bench_table3_semisynthetic.cc.o.d"
+  "bench_table3_semisynthetic"
+  "bench_table3_semisynthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_semisynthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identifiability_demo.dir/identifiability_demo.cpp.o"
+  "CMakeFiles/identifiability_demo.dir/identifiability_demo.cpp.o.d"
+  "identifiability_demo"
+  "identifiability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identifiability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

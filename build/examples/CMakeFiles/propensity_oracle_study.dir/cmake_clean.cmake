@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propensity_oracle_study.dir/propensity_oracle_study.cpp.o"
+  "CMakeFiles/propensity_oracle_study.dir/propensity_oracle_study.cpp.o.d"
+  "propensity_oracle_study"
+  "propensity_oracle_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propensity_oracle_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

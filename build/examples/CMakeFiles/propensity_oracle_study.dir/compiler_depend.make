@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for propensity_oracle_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_synthetic_pipeline.dir/semi_synthetic_pipeline.cpp.o"
+  "CMakeFiles/semi_synthetic_pipeline.dir/semi_synthetic_pipeline.cpp.o.d"
+  "semi_synthetic_pipeline"
+  "semi_synthetic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_synthetic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,88 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/grad_check.cc" "src/CMakeFiles/dtrec.dir/autograd/grad_check.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/autograd/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/dtrec.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/tape.cc" "src/CMakeFiles/dtrec.dir/autograd/tape.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/autograd/tape.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/dtrec.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/cvib.cc" "src/CMakeFiles/dtrec.dir/baselines/cvib.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/cvib.cc.o.d"
+  "/root/repo/src/baselines/dib.cc" "src/CMakeFiles/dtrec.dir/baselines/dib.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/dib.cc.o.d"
+  "/root/repo/src/baselines/dr.cc" "src/CMakeFiles/dtrec.dir/baselines/dr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/dr.cc.o.d"
+  "/root/repo/src/baselines/dr_bias_mse.cc" "src/CMakeFiles/dtrec.dir/baselines/dr_bias_mse.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/dr_bias_mse.cc.o.d"
+  "/root/repo/src/baselines/dr_jl.cc" "src/CMakeFiles/dtrec.dir/baselines/dr_jl.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/dr_jl.cc.o.d"
+  "/root/repo/src/baselines/dr_v2.cc" "src/CMakeFiles/dtrec.dir/baselines/dr_v2.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/dr_v2.cc.o.d"
+  "/root/repo/src/baselines/escm2.cc" "src/CMakeFiles/dtrec.dir/baselines/escm2.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/escm2.cc.o.d"
+  "/root/repo/src/baselines/esmm.cc" "src/CMakeFiles/dtrec.dir/baselines/esmm.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/esmm.cc.o.d"
+  "/root/repo/src/baselines/ips.cc" "src/CMakeFiles/dtrec.dir/baselines/ips.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/ips.cc.o.d"
+  "/root/repo/src/baselines/ips_v2.cc" "src/CMakeFiles/dtrec.dir/baselines/ips_v2.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/ips_v2.cc.o.d"
+  "/root/repo/src/baselines/mf_naive.cc" "src/CMakeFiles/dtrec.dir/baselines/mf_naive.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/mf_naive.cc.o.d"
+  "/root/repo/src/baselines/mr.cc" "src/CMakeFiles/dtrec.dir/baselines/mr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/mr.cc.o.d"
+  "/root/repo/src/baselines/mrdr_jl.cc" "src/CMakeFiles/dtrec.dir/baselines/mrdr_jl.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/mrdr_jl.cc.o.d"
+  "/root/repo/src/baselines/multi_ips_dr.cc" "src/CMakeFiles/dtrec.dir/baselines/multi_ips_dr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/multi_ips_dr.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/dtrec.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/snips.cc" "src/CMakeFiles/dtrec.dir/baselines/snips.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/snips.cc.o.d"
+  "/root/repo/src/baselines/stable_dr.cc" "src/CMakeFiles/dtrec.dir/baselines/stable_dr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/stable_dr.cc.o.d"
+  "/root/repo/src/baselines/tdr.cc" "src/CMakeFiles/dtrec.dir/baselines/tdr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/tdr.cc.o.d"
+  "/root/repo/src/baselines/tower_base.cc" "src/CMakeFiles/dtrec.dir/baselines/tower_base.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/tower_base.cc.o.d"
+  "/root/repo/src/baselines/trainer_base.cc" "src/CMakeFiles/dtrec.dir/baselines/trainer_base.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/baselines/trainer_base.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/dtrec.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/disentangled_embeddings.cc" "src/CMakeFiles/dtrec.dir/core/disentangled_embeddings.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/disentangled_embeddings.cc.o.d"
+  "/root/repo/src/core/dt_dr.cc" "src/CMakeFiles/dtrec.dir/core/dt_dr.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/dt_dr.cc.o.d"
+  "/root/repo/src/core/dt_ips.cc" "src/CMakeFiles/dtrec.dir/core/dt_ips.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/dt_ips.cc.o.d"
+  "/root/repo/src/core/identifiability.cc" "src/CMakeFiles/dtrec.dir/core/identifiability.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/identifiability.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/dtrec.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/core/losses.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/dtrec.dir/data/io.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/data/io.cc.o.d"
+  "/root/repo/src/data/rating_dataset.cc" "src/CMakeFiles/dtrec.dir/data/rating_dataset.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/data/rating_dataset.cc.o.d"
+  "/root/repo/src/data/samplers.cc" "src/CMakeFiles/dtrec.dir/data/samplers.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/data/samplers.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/dtrec.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/data/splits.cc.o.d"
+  "/root/repo/src/diagnostics/mnar_diagnostics.cc" "src/CMakeFiles/dtrec.dir/diagnostics/mnar_diagnostics.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/diagnostics/mnar_diagnostics.cc.o.d"
+  "/root/repo/src/experiments/config.cc" "src/CMakeFiles/dtrec.dir/experiments/config.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/experiments/config.cc.o.d"
+  "/root/repo/src/experiments/evaluator.cc" "src/CMakeFiles/dtrec.dir/experiments/evaluator.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/experiments/evaluator.cc.o.d"
+  "/root/repo/src/experiments/oracle_bias.cc" "src/CMakeFiles/dtrec.dir/experiments/oracle_bias.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/experiments/oracle_bias.cc.o.d"
+  "/root/repo/src/experiments/runner.cc" "src/CMakeFiles/dtrec.dir/experiments/runner.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/experiments/runner.cc.o.d"
+  "/root/repo/src/metrics/pointwise.cc" "src/CMakeFiles/dtrec.dir/metrics/pointwise.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/metrics/pointwise.cc.o.d"
+  "/root/repo/src/metrics/ranking.cc" "src/CMakeFiles/dtrec.dir/metrics/ranking.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/metrics/ranking.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/dtrec.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/metrics/stats.cc.o.d"
+  "/root/repo/src/metrics/ttest.cc" "src/CMakeFiles/dtrec.dir/metrics/ttest.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/metrics/ttest.cc.o.d"
+  "/root/repo/src/models/embedding_table.cc" "src/CMakeFiles/dtrec.dir/models/embedding_table.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/models/embedding_table.cc.o.d"
+  "/root/repo/src/models/mf_model.cc" "src/CMakeFiles/dtrec.dir/models/mf_model.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/models/mf_model.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/dtrec.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/param_count.cc" "src/CMakeFiles/dtrec.dir/models/param_count.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/models/param_count.cc.o.d"
+  "/root/repo/src/optim/adagrad.cc" "src/CMakeFiles/dtrec.dir/optim/adagrad.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/optim/adagrad.cc.o.d"
+  "/root/repo/src/optim/adam.cc" "src/CMakeFiles/dtrec.dir/optim/adam.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/optim/adam.cc.o.d"
+  "/root/repo/src/optim/lr_schedule.cc" "src/CMakeFiles/dtrec.dir/optim/lr_schedule.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/optim/lr_schedule.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/dtrec.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/dtrec.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/propensity/logistic_propensity.cc" "src/CMakeFiles/dtrec.dir/propensity/logistic_propensity.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/propensity/logistic_propensity.cc.o.d"
+  "/root/repo/src/propensity/mf_propensity.cc" "src/CMakeFiles/dtrec.dir/propensity/mf_propensity.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/propensity/mf_propensity.cc.o.d"
+  "/root/repo/src/propensity/popularity_propensity.cc" "src/CMakeFiles/dtrec.dir/propensity/popularity_propensity.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/propensity/popularity_propensity.cc.o.d"
+  "/root/repo/src/propensity/propensity.cc" "src/CMakeFiles/dtrec.dir/propensity/propensity.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/propensity/propensity.cc.o.d"
+  "/root/repo/src/synth/coat_like.cc" "src/CMakeFiles/dtrec.dir/synth/coat_like.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/synth/coat_like.cc.o.d"
+  "/root/repo/src/synth/kuairec_like.cc" "src/CMakeFiles/dtrec.dir/synth/kuairec_like.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/synth/kuairec_like.cc.o.d"
+  "/root/repo/src/synth/mnar_generator.cc" "src/CMakeFiles/dtrec.dir/synth/mnar_generator.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/synth/mnar_generator.cc.o.d"
+  "/root/repo/src/synth/movielens_like.cc" "src/CMakeFiles/dtrec.dir/synth/movielens_like.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/synth/movielens_like.cc.o.d"
+  "/root/repo/src/synth/yahoo_like.cc" "src/CMakeFiles/dtrec.dir/synth/yahoo_like.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/synth/yahoo_like.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/dtrec.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/dtrec.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/serialization.cc" "src/CMakeFiles/dtrec.dir/tensor/serialization.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/tensor/serialization.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/dtrec.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/dtrec.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/dtrec.dir/util/status.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/dtrec.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/dtrec.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_writer.cc" "src/CMakeFiles/dtrec.dir/util/table_writer.cc.o" "gcc" "src/CMakeFiles/dtrec.dir/util/table_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

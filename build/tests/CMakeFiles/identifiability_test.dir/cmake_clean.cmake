@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identifiability_test.dir/identifiability_test.cc.o"
+  "CMakeFiles/identifiability_test.dir/identifiability_test.cc.o.d"
+  "identifiability_test"
+  "identifiability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identifiability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propensity_test.dir/propensity_test.cc.o"
+  "CMakeFiles/propensity_test.dir/propensity_test.cc.o.d"
+  "propensity_test"
+  "propensity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propensity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

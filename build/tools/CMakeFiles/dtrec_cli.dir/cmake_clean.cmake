@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrec_cli.dir/dtrec_cli.cc.o"
+  "CMakeFiles/dtrec_cli.dir/dtrec_cli.cc.o.d"
+  "dtrec_cli"
+  "dtrec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
