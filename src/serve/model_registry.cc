@@ -1,0 +1,47 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "util/random.h"
+
+namespace dtrec::serve {
+
+uint64_t ModelRegistry::Publish(ServingModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t generation = generation_.load(std::memory_order_relaxed) + 1;
+  model.set_generation(generation);
+  current_ = std::make_shared<const ServingModel>(std::move(model));
+  generation_.store(generation, std::memory_order_release);
+  return generation;
+}
+
+std::shared_ptr<const ServingModel> ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Status ModelRegistry::PublishDisentangledCheckpoint(
+    const std::string& path, const DisentangledShape& shape,
+    std::vector<double> item_popularity, uint64_t* generation_out) {
+  if (shape.num_users == 0 || shape.num_items == 0 || shape.total_dim == 0) {
+    return Status::InvalidArgument("checkpoint shape must be fully specified");
+  }
+  const size_t primary =
+      shape.primary_dim > 0 ? shape.primary_dim : (3 * shape.total_dim) / 4;
+  // The Create() initialization is overwritten wholesale by the load; the
+  // Rng only satisfies the constructor contract.
+  Rng scratch_rng(1);
+  DisentangledEmbeddings emb = DisentangledEmbeddings::Create(
+      shape.num_users, shape.num_items, shape.total_dim, primary,
+      /*init_scale=*/0.1, /*bias_init=*/0.0, &scratch_rng, shape.use_bias);
+  DTREC_RETURN_IF_ERROR(LoadDisentangledEmbeddings(path, &emb));
+  auto model =
+      ServingModel::FromDisentangled(emb, std::move(item_popularity));
+  if (!model.ok()) return model.status();
+  const uint64_t generation = Publish(std::move(model).value());
+  if (generation_out != nullptr) *generation_out = generation;
+  return Status::OK();
+}
+
+}  // namespace dtrec::serve

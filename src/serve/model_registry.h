@@ -1,0 +1,76 @@
+#ifndef DTREC_SERVE_MODEL_REGISTRY_H_
+#define DTREC_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/serving_model.h"
+#include "util/status.h"
+
+namespace dtrec::serve {
+
+/// Shape contract for restoring a DisentangledEmbeddings checkpoint (the
+/// checkpoint format carries raw matrices, not shapes — see
+/// core/checkpoint.h).
+struct DisentangledShape {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t total_dim = 0;    ///< K
+  size_t primary_dim = 0;  ///< A; 0 → 3K/4, the trainer default
+  bool use_bias = false;
+};
+
+/// Holds the current serving model and hot-swaps it without downtime.
+///
+/// Publish() stamps the next generation number onto the model and swaps
+/// the registry's `shared_ptr<const ServingModel>` under a mutex;
+/// Acquire() returns a copy of that pointer. A request therefore pins
+/// whichever model was live when it started — swaps never tear a model
+/// mid-request, and the old model is freed when its last in-flight
+/// request drops the reference.
+///
+/// Generations start at 1 and increase monotonically; `generation()`
+/// reads an atomic and is safe to poll from any thread (the serving
+/// layer uses it to invalidate score caches after a swap).
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes `model` as the new serving model, assigning it the next
+  /// generation; returns that generation.
+  uint64_t Publish(ServingModel model);
+
+  /// The current model, or nullptr before the first Publish. The returned
+  /// pointer stays valid (and the model immutable) for as long as the
+  /// caller holds it, across any number of subsequent swaps.
+  std::shared_ptr<const ServingModel> Acquire() const;
+
+  /// Generation of the latest published model; 0 before the first.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Restores a DisentangledEmbeddings checkpoint from `path` (shapes per
+  /// `shape`), builds its serving snapshot, and publishes it. This is the
+  /// hot-reload path a trainer triggers after writing a new checkpoint.
+  Status PublishDisentangledCheckpoint(const std::string& path,
+                                       const DisentangledShape& shape,
+                                       std::vector<double> item_popularity,
+                                       uint64_t* generation_out = nullptr);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingModel> current_;
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace dtrec::serve
+
+#endif  // DTREC_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,123 @@
+#include "serve/recommend_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dtrec::serve {
+
+RecommendServer::RecommendServer(const ModelRegistry* registry,
+                                 ServerConfig config)
+    : registry_(registry),
+      config_(config),
+      scorer_(config.cache),
+      pool_(config.num_threads) {
+  DTREC_CHECK(registry != nullptr);
+}
+
+RecommendServer::~RecommendServer() { pool_.Shutdown(); }
+
+std::future<Recommendation> RecommendServer::Submit(
+    const RecommendRequest& request) {
+  auto task = std::make_shared<std::packaged_task<Recommendation()>>(
+      [this, request, submitted = Stopwatch()] {
+        return Handle(request, submitted.ElapsedMicros());
+      });
+  std::future<Recommendation> future = task->get_future();
+  pool_.Submit([task] { (*task)(); });
+  return future;
+}
+
+Recommendation RecommendServer::Recommend(const RecommendRequest& request) {
+  return Handle(request, /*waited_us=*/0.0);
+}
+
+Recommendation RecommendServer::Handle(const RecommendRequest& request,
+                                       double waited_us) {
+  const Stopwatch handle_watch;
+  Recommendation response;
+  response.queue_us = waited_us;
+
+  std::shared_ptr<const ServingModel> model = registry_->Acquire();
+  DTREC_CHECK(model != nullptr) << "no model published before serving";
+
+  // Eager cache invalidation on swap. Correctness does not depend on
+  // winning this race — cache entries are generation-checked — so a
+  // compare_exchange miss against a concurrent observer is fine.
+  uint64_t seen = seen_generation_.load(std::memory_order_acquire);
+  const uint64_t generation = model->generation();
+  if (seen != generation &&
+      seen_generation_.compare_exchange_strong(seen, generation,
+                                               std::memory_order_acq_rel)) {
+    if (seen != 0) swaps_.fetch_add(1, std::memory_order_relaxed);
+    scorer_.InvalidateAll();
+  }
+  response.generation = generation;
+
+  const size_t k =
+      std::min(request.k > 0 ? request.k : config_.default_k,
+               model->num_items());
+  const double deadline_ms = request.deadline_ms >= 0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+
+  const Stopwatch stage_watch;
+  if (deadline_ms >= 0 && waited_us >= deadline_ms * 1e3) {
+    // Budget burned in the queue: serve the precomputed popularity
+    // ranking instead of burning more time on a full scoring pass.
+    response.degraded = true;
+    const auto& ranking = model->popularity_ranking();
+    response.items.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      response.items.push_back(
+          {ranking[i], model->popularity(ranking[i])});
+    }
+  } else {
+    response.items = scorer_.TopK(*model, request.user, k,
+                                  &response.cache_hit);
+  }
+  response.score_us = stage_watch.ElapsedMicros();
+  response.total_us = waited_us + handle_watch.ElapsedMicros();
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (response.degraded) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.cache_hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_hist_.Record(response.queue_us);
+  score_hist_.Record(response.score_us);
+  total_hist_.Record(response.total_us);
+  return response;
+}
+
+ServerStats RecommendServer::Snapshot() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.model_swaps = swaps_.load(std::memory_order_relaxed);
+  stats.generation = registry_->generation();
+  stats.queue_us = queue_hist_.Summarize();
+  stats.score_us = score_hist_.Summarize();
+  stats.total_us = total_hist_.Summarize();
+  return stats;
+}
+
+void RecommendServer::ResetStats() {
+  requests_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  swaps_.store(0, std::memory_order_relaxed);
+  queue_hist_.Reset();
+  score_hist_.Reset();
+  total_hist_.Reset();
+}
+
+}  // namespace dtrec::serve

@@ -1,0 +1,106 @@
+#ifndef DTREC_SERVE_RECOMMEND_SERVER_H_
+#define DTREC_SERVE_RECOMMEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/server_stats.h"
+#include "serve/topk_scorer.h"
+#include "util/thread_pool.h"
+
+namespace dtrec::serve {
+
+struct ServerConfig {
+  size_t num_threads = 4;
+  size_t default_k = 10;
+  /// Per-request latency budget (submit → response). A request whose
+  /// budget is already spent when a worker picks it up is answered with
+  /// the degraded popularity slate instead of a full scoring pass.
+  /// 0 means "already expired" (every pooled request degrades —
+  /// deterministic, used in tests); < 0 disables the deadline.
+  double default_deadline_ms = 50.0;
+  ScoreCacheConfig cache;  ///< cache.capacity = 0 disables the score cache
+};
+
+struct RecommendRequest {
+  size_t user = 0;
+  size_t k = 0;             ///< 0 → ServerConfig::default_k
+  double deadline_ms = -1;  ///< < 0 → ServerConfig::default_deadline_ms
+};
+
+struct Recommendation {
+  std::vector<ScoredItem> items;  ///< best-first slate
+  bool degraded = false;   ///< popularity fallback (deadline exceeded)
+  bool cache_hit = false;
+  uint64_t generation = 0;  ///< model generation that produced the slate
+  double queue_us = 0.0;
+  double score_us = 0.0;
+  double total_us = 0.0;
+};
+
+/// Front door of the serving subsystem.
+///
+///   registry ──Acquire()──▶ ServingModel (pinned per request)
+///        │                        │
+///   RecommendServer ──▶ ThreadPool workers ──▶ TopKScorer (+ LRU cache)
+///        │                        │
+///        └──── ServerStats ◀── latency histograms / counters
+///
+/// Submit() enqueues onto the pool and returns a future; Recommend() is
+/// the synchronous in-thread path (used by the workers themselves, and
+/// handy for tests/examples). Every request pins the registry's current
+/// model via shared_ptr, so hot swaps are torn-model-free by
+/// construction; on observing a new generation the server eagerly drops
+/// the score cache (stale entries are already unreachable — the cache is
+/// generation-checked — this just frees the memory and keeps hit-rate
+/// stats meaningful).
+class RecommendServer {
+ public:
+  /// `registry` must outlive the server and have at least one published
+  /// model before the first request.
+  RecommendServer(const ModelRegistry* registry, ServerConfig config);
+  ~RecommendServer();
+
+  RecommendServer(const RecommendServer&) = delete;
+  RecommendServer& operator=(const RecommendServer&) = delete;
+
+  /// Asynchronous: fan the request onto the worker pool.
+  std::future<Recommendation> Submit(const RecommendRequest& request);
+
+  /// Synchronous: handle on the calling thread (still records stats and
+  /// honors the deadline — queue time is simply ~0).
+  Recommendation Recommend(const RecommendRequest& request);
+
+  ServerStats Snapshot() const;
+  void ResetStats();
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// `waited_us` is the time the request spent queued before handling.
+  Recommendation Handle(const RecommendRequest& request, double waited_us);
+
+  const ModelRegistry* const registry_;
+  const ServerConfig config_;
+  TopKScorer scorer_;
+
+  LatencyHistogram queue_hist_;
+  LatencyHistogram score_hist_;
+  LatencyHistogram total_hist_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> seen_generation_{0};
+
+  ThreadPool pool_;  // last member: workers must die before the stats
+};
+
+}  // namespace dtrec::serve
+
+#endif  // DTREC_SERVE_RECOMMEND_SERVER_H_

@@ -1,0 +1,82 @@
+#ifndef DTREC_SERVE_SERVER_STATS_H_
+#define DTREC_SERVE_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dtrec::serve {
+
+/// Lock-free latency histogram at microsecond resolution.
+///
+/// Fixed geometric buckets (factor 1.25 starting at 1µs, 96 of them —
+/// covers 1µs to ~20 minutes at ≤12.5% relative error per bucket, which
+/// is plenty for p50/p95/p99 reporting). Record() is a couple of relaxed
+/// atomic increments, safe to call from every worker concurrently;
+/// Summarize() reads a consistent-enough snapshot for monitoring.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 96;
+
+  LatencyHistogram();
+
+  /// Records one observation of `micros` (clamped to [0, last bucket]).
+  void Record(double micros);
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  /// Percentiles are interpolated within the containing bucket.
+  Summary Summarize() const;
+
+  void Reset();
+
+ private:
+  /// Upper bound (µs) of bucket i: 1.25^i.
+  static double BucketUpper(size_t i);
+  static size_t BucketIndex(double micros);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};  // integral ns: atomic add, no FP atomics
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// Point-in-time counters + per-stage latency summaries of a
+/// RecommendServer. A snapshot is plain data — safe to copy, print, or
+/// diff against an earlier snapshot.
+struct ServerStats {
+  uint64_t requests = 0;      ///< completed requests
+  uint64_t degraded = 0;      ///< deadline-exceeded popularity fallbacks
+  uint64_t cache_hits = 0;    ///< slates served from the score cache
+  uint64_t cache_misses = 0;  ///< slates that ran the full scoring pass
+  uint64_t model_swaps = 0;   ///< registry generation changes observed
+  uint64_t generation = 0;    ///< model generation at snapshot time
+
+  LatencyHistogram::Summary queue_us;  ///< submit → worker pickup
+  LatencyHistogram::Summary score_us;  ///< scoring (or fallback) stage
+  LatencyHistogram::Summary total_us;  ///< submit → response ready
+
+  double degraded_rate() const {
+    return requests == 0 ? 0.0 : static_cast<double>(degraded) / requests;
+  }
+  double cache_hit_rate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
+  }
+
+  /// One-line counter digest, e.g.
+  /// "requests=1000 degraded=1.2% cache_hit=34.0% generation=2".
+  std::string Summary() const;
+};
+
+}  // namespace dtrec::serve
+
+#endif  // DTREC_SERVE_SERVER_STATS_H_

@@ -1,0 +1,126 @@
+#include "serve/serving_model.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace dtrec::serve {
+namespace {
+
+std::vector<uint32_t> RankByPopularity(const std::vector<double>& pop) {
+  std::vector<uint32_t> ranking(pop.size());
+  std::iota(ranking.begin(), ranking.end(), 0u);
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [&pop](uint32_t a, uint32_t b) {
+                     if (pop[a] != pop[b]) return pop[a] > pop[b];
+                     return a < b;
+                   });
+  return ranking;
+}
+
+}  // namespace
+
+Result<ServingModel> ServingModel::FromFactors(
+    Matrix user_factors, Matrix item_factors, Matrix user_bias,
+    Matrix item_bias, std::vector<double> item_popularity) {
+  if (user_factors.empty() || item_factors.empty()) {
+    return Status::InvalidArgument("serving model needs non-empty factors");
+  }
+  if (user_factors.cols() != item_factors.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "factor dim mismatch: users %zu vs items %zu", user_factors.cols(),
+        item_factors.cols()));
+  }
+  if (!user_bias.empty() && (user_bias.rows() != user_factors.rows() ||
+                             user_bias.cols() != 1)) {
+    return Status::InvalidArgument("user bias must be |U|x1");
+  }
+  if (!item_bias.empty() && (item_bias.rows() != item_factors.rows() ||
+                             item_bias.cols() != 1)) {
+    return Status::InvalidArgument("item bias must be |I|x1");
+  }
+  if (item_popularity.size() != item_factors.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "popularity has %zu entries for %zu items", item_popularity.size(),
+        item_factors.rows()));
+  }
+  ServingModel model;
+  model.user_factors_ = std::move(user_factors);
+  model.item_factors_ = std::move(item_factors);
+  model.user_bias_ = std::move(user_bias);
+  model.item_bias_ = std::move(item_bias);
+  model.popularity_ranking_ = RankByPopularity(item_popularity);
+  model.item_popularity_ = std::move(item_popularity);
+  return model;
+}
+
+Result<ServingModel> ServingModel::FromDisentangled(
+    const DisentangledEmbeddings& emb, std::vector<double> item_popularity) {
+  // Serving uses only the rating head: the primary blocks and (when
+  // enabled) the bias terms. The auxiliary blocks and propensity head are
+  // training-time machinery.
+  return FromFactors(emb.p_primary, emb.q_primary, emb.user_bias,
+                     emb.item_bias, std::move(item_popularity));
+}
+
+Result<ServingModel> ServingModel::FromMf(const MfModel& model,
+                                          std::vector<double> item_popularity) {
+  Matrix user_bias, item_bias;
+  // Params() order is P, Q[, bu, bi]; biases only when configured.
+  const std::vector<const Matrix*> params = model.Params();
+  if (params.size() == 4) {
+    user_bias = *params[2];
+    item_bias = *params[3];
+  }
+  return FromFactors(model.p(), model.q(), std::move(user_bias),
+                     std::move(item_bias), std::move(item_popularity));
+}
+
+double ServingModel::Score(size_t user, size_t item) const {
+  DTREC_DCHECK(user < num_users() && item < num_items());
+  const double* pu = user_factors_.row(user);
+  const double* qi = item_factors_.row(item);
+  double dot = 0.0;
+  for (size_t k = 0; k < user_factors_.cols(); ++k) dot += pu[k] * qi[k];
+  if (!user_bias_.empty()) dot += user_bias_(user, 0);
+  if (!item_bias_.empty()) dot += item_bias_(item, 0);
+  return dot;
+}
+
+void ServingModel::ScoreAllItems(size_t user,
+                                 std::vector<double>* out) const {
+  DTREC_DCHECK(user < num_users());
+  const size_t n = num_items();
+  const size_t d = dim();
+  out->resize(n);
+  const double* pu = user_factors_.row(user);
+  const double ub = user_bias_.empty() ? 0.0 : user_bias_(user, 0);
+  double* scores = out->data();
+  // Tile the item rows: one tile of kBlock rows (~kBlock·d·8 bytes) plus
+  // the user vector fits comfortably in L1/L2 for serving-sized dims.
+  constexpr size_t kBlock = 64;
+  for (size_t block = 0; block < n; block += kBlock) {
+    const size_t end = std::min(n, block + kBlock);
+    for (size_t i = block; i < end; ++i) {
+      const double* qi = item_factors_.row(i);
+      double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+      size_t k = 0;
+      for (; k + 4 <= d; k += 4) {
+        d0 += pu[k] * qi[k];
+        d1 += pu[k + 1] * qi[k + 1];
+        d2 += pu[k + 2] * qi[k + 2];
+        d3 += pu[k + 3] * qi[k + 3];
+      }
+      double dot = (d0 + d1) + (d2 + d3);
+      for (; k < d; ++k) dot += pu[k] * qi[k];
+      scores[i] = dot + ub;
+    }
+  }
+  if (!item_bias_.empty()) {
+    for (size_t i = 0; i < n; ++i) scores[i] += item_bias_(i, 0);
+  }
+}
+
+}  // namespace dtrec::serve

@@ -1,0 +1,92 @@
+#ifndef DTREC_SERVE_SERVING_MODEL_H_
+#define DTREC_SERVE_SERVING_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/disentangled_embeddings.h"
+#include "models/mf_model.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace dtrec::serve {
+
+/// An immutable scoring snapshot built from trained parameters.
+///
+/// Serving never touches trainer state: the registry copies the rating
+/// head (user/item factors + optional biases) out of a trained model into
+/// one of these, and readers score through a `shared_ptr<const
+/// ServingModel>` — so a hot swap can never mutate a model a request is
+/// mid-way through scoring.
+///
+/// The model also carries the *popularity prior* (train-split interaction
+/// counts): the degraded slate served when a request blows its deadline,
+/// and the classic MNAR-biased baseline a debiased top-K should beat.
+///
+/// `generation()` is the registry-assigned version tag. It is stored
+/// twice (head and tail of the object) and `IntegrityOk()` cross-checks
+/// them, so a torn/partially-published model is detectable in tests.
+class ServingModel {
+ public:
+  ServingModel() = default;
+
+  /// From explicit rating-head factors. `user_bias`/`item_bias` may be
+  /// empty; `item_popularity` must have one entry per item (pass zeros if
+  /// unknown). Shapes are validated.
+  static Result<ServingModel> FromFactors(Matrix user_factors,
+                                          Matrix item_factors,
+                                          Matrix user_bias, Matrix item_bias,
+                                          std::vector<double> item_popularity);
+
+  /// From a trained DT model: the *primary* blocks (P′, Q′) plus rating
+  /// biases — exactly the paper's serving-time predictor σ(p′_u·q′_i).
+  static Result<ServingModel> FromDisentangled(
+      const DisentangledEmbeddings& emb, std::vector<double> item_popularity);
+
+  /// From a plain MF model (baseline trainers).
+  static Result<ServingModel> FromMf(const MfModel& model,
+                                     std::vector<double> item_popularity);
+
+  size_t num_users() const { return user_factors_.rows(); }
+  size_t num_items() const { return item_factors_.rows(); }
+  size_t dim() const { return user_factors_.cols(); }
+
+  uint64_t generation() const { return generation_head_; }
+  bool IntegrityOk() const { return generation_head_ == generation_tail_; }
+
+  /// Rating logit p_u · q_i [+ bu_u + bi_i].
+  double Score(size_t user, size_t item) const;
+
+  /// Scores `user` against every item into `out` (resized to num_items()).
+  /// Blocked over items so the user vector and a tile of item rows stay
+  /// cache-resident; inner dot is 4-way unrolled.
+  void ScoreAllItems(size_t user, std::vector<double>* out) const;
+
+  /// Items sorted by popularity descending (ties by id ascending): the
+  /// degraded-fallback ranking, precomputed at build time so a fallback
+  /// response is O(K).
+  const std::vector<uint32_t>& popularity_ranking() const {
+    return popularity_ranking_;
+  }
+  double popularity(size_t item) const { return item_popularity_[item]; }
+
+ private:
+  friend class ModelRegistry;  // stamps generation at publish time
+  void set_generation(uint64_t generation) {
+    generation_head_ = generation;
+    generation_tail_ = generation;
+  }
+
+  uint64_t generation_head_ = 0;
+  Matrix user_factors_;  // |U|×d
+  Matrix item_factors_;  // |I|×d
+  Matrix user_bias_;     // |U|×1 or empty
+  Matrix item_bias_;     // |I|×1 or empty
+  std::vector<double> item_popularity_;    // |I|
+  std::vector<uint32_t> popularity_ranking_;  // |I|, popularity desc
+  uint64_t generation_tail_ = 0;
+};
+
+}  // namespace dtrec::serve
+
+#endif  // DTREC_SERVE_SERVING_MODEL_H_

@@ -1,0 +1,123 @@
+#include "serve/topk_scorer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dtrec::serve {
+namespace {
+
+/// "a ranks strictly better than b": higher score, ties to lower item id.
+inline bool Better(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+TopKScorer::TopKScorer(ScoreCacheConfig cache_config)
+    : config_(cache_config) {}
+
+std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
+                                         size_t user, size_t k,
+                                         bool* cache_hit) {
+  k = std::min(k, model.num_items());
+  std::vector<ScoredItem> slate;
+  if (config_.capacity > 0 &&
+      CacheLookup(user, model.generation(), k, &slate)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return slate;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  // Scratch survives across requests on the same worker thread: zero
+  // steady-state allocation for the dominant O(|I|) buffer.
+  thread_local std::vector<double> scores;
+  model.ScoreAllItems(user, &scores);
+
+  // Bounded min-heap over (score, item). With comp = Better ("less" =
+  // ranks earlier), the std heap root is the comp-maximum, i.e. the
+  // *worst* kept entry; each remaining item pays one comparison against
+  // the root once the heap is warm.
+  slate.clear();
+  slate.reserve(k + 1);
+  for (uint32_t item = 0; item < scores.size(); ++item) {
+    const ScoredItem candidate{item, scores[item]};
+    if (slate.size() < k) {
+      slate.push_back(candidate);
+      std::push_heap(slate.begin(), slate.end(), Better);
+    } else if (k > 0 && Better(candidate, slate.front())) {
+      std::pop_heap(slate.begin(), slate.end(), Better);
+      slate.back() = candidate;
+      std::push_heap(slate.begin(), slate.end(), Better);
+    }
+  }
+  std::sort_heap(slate.begin(), slate.end(), Better);  // best first
+
+  if (config_.capacity > 0) CacheStore(user, model.generation(), slate);
+  return slate;
+}
+
+bool TopKScorer::CacheLookup(size_t user, uint64_t generation, size_t k,
+                             std::vector<ScoredItem>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(user);
+  if (it == entries_.end()) return false;
+  CacheEntry& entry = it->second;
+  if (entry.generation != generation || entry.slate.size() < k) {
+    // Stale generation or too-short slate: treat as a miss; the recompute
+    // will overwrite the entry.
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  out->assign(entry.slate.begin(), entry.slate.begin() + k);
+  return true;
+}
+
+void TopKScorer::CacheStore(size_t user, uint64_t generation,
+                            const std::vector<ScoredItem>& slate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(user);
+  if (it != entries_.end()) {
+    // Keep the longer slate when generations match (a k=50 result can
+    // serve later k<=50 lookups); otherwise overwrite.
+    CacheEntry& entry = it->second;
+    if (entry.generation != generation ||
+        slate.size() > entry.slate.size()) {
+      entry.generation = generation;
+      entry.slate = slate;
+    }
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+    return;
+  }
+  if (entries_.size() >= config_.capacity) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  lru_.push_front(user);
+  entries_.emplace(user, CacheEntry{generation, slate, lru_.begin()});
+}
+
+void TopKScorer::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t TopKScorer::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<ScoredItem> BruteForceTopK(const ServingModel& model, size_t user,
+                                       size_t k) {
+  std::vector<double> scores;
+  model.ScoreAllItems(user, &scores);
+  std::vector<ScoredItem> all(scores.size());
+  for (uint32_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  std::sort(all.begin(), all.end(), Better);
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+}  // namespace dtrec::serve

@@ -1,0 +1,88 @@
+#ifndef DTREC_SERVE_TOPK_SCORER_H_
+#define DTREC_SERVE_TOPK_SCORER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/serving_model.h"
+
+namespace dtrec::serve {
+
+/// One slate entry: an item and its rating logit (or popularity count for
+/// degraded slates).
+struct ScoredItem {
+  uint32_t item = 0;
+  double score = 0.0;
+};
+
+/// Score-cache knobs. capacity == 0 disables caching entirely.
+struct ScoreCacheConfig {
+  size_t capacity = 1024;  ///< max users with a cached slate (LRU-evicted)
+};
+
+/// Scores a user against the full catalogue and keeps the top K.
+///
+/// Scoring runs ServingModel::ScoreAllItems (blocked dot-product kernel)
+/// into a thread-local scratch buffer, then selects K via a bounded
+/// min-heap — O(|I|·d + |I|·log K), no full argsort, no per-request
+/// allocation on the steady state.
+///
+/// Ordering is deterministic: score descending, ties broken by item id
+/// ascending (so results are reproducible and testable against a
+/// brute-force argsort).
+///
+/// The optional per-user LRU cache stores the last computed slate tagged
+/// with the model generation that produced it. A lookup only hits when
+/// the tag matches the *current* model's generation and the cached slate
+/// is at least as long as the requested K — so a stale entry can never be
+/// served after a registry hot-swap even if InvalidateAll() has not run
+/// yet. InvalidateAll() exists to reclaim the memory eagerly on swap.
+class TopKScorer {
+ public:
+  explicit TopKScorer(ScoreCacheConfig cache_config = {});
+
+  TopKScorer(const TopKScorer&) = delete;
+  TopKScorer& operator=(const TopKScorer&) = delete;
+
+  /// Top-`k` slate for `user` under `model` (k clamped to the catalogue
+  /// size). Thread-safe. `cache_hit`, when non-null, reports whether the
+  /// slate came from the cache.
+  std::vector<ScoredItem> TopK(const ServingModel& model, size_t user,
+                               size_t k, bool* cache_hit = nullptr);
+
+  /// Drops every cached slate (called on model hot-swap).
+  void InvalidateAll();
+
+  size_t cache_size() const;
+
+ private:
+  struct CacheEntry {
+    uint64_t generation = 0;
+    std::vector<ScoredItem> slate;
+    std::list<size_t>::iterator lru_pos;
+  };
+
+  /// Returns a copy of the cached slate prefix on hit.
+  bool CacheLookup(size_t user, uint64_t generation, size_t k,
+                   std::vector<ScoredItem>* out);
+  void CacheStore(size_t user, uint64_t generation,
+                  const std::vector<ScoredItem>& slate);
+
+  const ScoreCacheConfig config_;
+  mutable std::mutex mu_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<size_t, CacheEntry> entries_;
+};
+
+/// Reference implementation: full argsort of all item scores (score desc,
+/// item asc). O(|I|·log|I|); the test oracle for TopKScorer and the
+/// honest baseline in the throughput bench.
+std::vector<ScoredItem> BruteForceTopK(const ServingModel& model, size_t user,
+                                       size_t k);
+
+}  // namespace dtrec::serve
+
+#endif  // DTREC_SERVE_TOPK_SCORER_H_

@@ -21,6 +21,10 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microseconds elapsed; the serving latency histograms record at µs
+  /// resolution (sub-ms tail percentiles are meaningless in ms).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

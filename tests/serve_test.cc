@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "serve/model_registry.h"
+#include "serve/recommend_server.h"
+#include "serve/server_stats.h"
+#include "serve/serving_model.h"
+#include "serve/topk_scorer.h"
+#include "tensor/matrix.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dtrec::serve {
+namespace {
+
+// --------------------------------------------------------------- helpers
+
+/// Random serving model with `users`×`items` factors of width `dim`;
+/// popularity decreases with item id, so the fallback ranking is
+/// 0, 1, 2, … deterministically.
+ServingModel RandomModel(size_t users, size_t items, size_t dim,
+                         uint64_t seed, bool with_bias = false) {
+  Rng rng(seed);
+  Matrix user_bias, item_bias;
+  if (with_bias) {
+    user_bias = Matrix::RandomNormal(users, 1, 0.5, &rng);
+    item_bias = Matrix::RandomNormal(items, 1, 0.5, &rng);
+  }
+  std::vector<double> popularity(items);
+  for (size_t i = 0; i < items; ++i) {
+    popularity[i] = static_cast<double>(items - i);  // item 0 most popular
+  }
+  auto model = ServingModel::FromFactors(
+      Matrix::RandomNormal(users, dim, 1.0, &rng),
+      Matrix::RandomNormal(items, dim, 1.0, &rng), std::move(user_bias),
+      std::move(item_bias), std::move(popularity));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+/// A model whose every score identifies its build parameter: all user
+/// factors 1, all item factors `value`, dim `dim` → score = dim·value
+/// for every (u, i). Used to detect torn models / stale cache slates.
+ServingModel ConstantModel(size_t users, size_t items, size_t dim,
+                           double value) {
+  std::vector<double> popularity(items, 1.0);
+  auto model = ServingModel::FromFactors(
+      Matrix::Constant(users, dim, 1.0), Matrix::Constant(items, dim, value),
+      Matrix(), Matrix(), std::move(popularity));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        count.fetch_add(1);
+      });
+    }
+    pool.Shutdown();  // must run everything already queued
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, WaitIdleThenReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ----------------------------------------------------------- TopKScorer
+
+TEST(TopKScorerTest, MatchesBruteForceArgsort) {
+  const ServingModel model = RandomModel(40, 157, 12, /*seed=*/7,
+                                         /*with_bias=*/true);
+  TopKScorer scorer(ScoreCacheConfig{.capacity = 0});  // no cache
+  for (size_t user = 0; user < model.num_users(); user += 3) {
+    for (size_t k : {1u, 5u, 10u, 157u, 400u}) {
+      const auto fast = scorer.TopK(model, user, k);
+      const auto slow = BruteForceTopK(model, user, k);
+      ASSERT_EQ(fast.size(), slow.size()) << "user " << user << " k " << k;
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i].item, slow[i].item)
+            << "user " << user << " k " << k << " rank " << i;
+        EXPECT_DOUBLE_EQ(fast[i].score, slow[i].score);
+      }
+    }
+  }
+}
+
+TEST(TopKScorerTest, TiesBreakByItemId) {
+  // All-equal scores: top-K must be items 0..K-1 in order.
+  const ServingModel model = ConstantModel(3, 50, 4, 0.5);
+  TopKScorer scorer;
+  const auto slate = scorer.TopK(model, 0, 10);
+  ASSERT_EQ(slate.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(slate[i].item, i);
+}
+
+TEST(TopKScorerTest, CacheHitOnRepeatAndPrefixReuse) {
+  const ServingModel model = RandomModel(10, 80, 8, 21);
+  TopKScorer scorer(ScoreCacheConfig{.capacity = 8});
+  bool hit = true;
+  const auto first = scorer.TopK(model, 4, 20, &hit);
+  EXPECT_FALSE(hit);
+  const auto again = scorer.TopK(model, 4, 20, &hit);
+  EXPECT_TRUE(hit);
+  ASSERT_EQ(first.size(), again.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].item, again[i].item);
+  }
+  // Smaller K is a prefix of the cached slate — still a hit.
+  const auto prefix = scorer.TopK(model, 4, 5, &hit);
+  EXPECT_TRUE(hit);
+  ASSERT_EQ(prefix.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(prefix[i].item, first[i].item);
+  // Larger K cannot be served from a shorter slate.
+  scorer.TopK(model, 4, 40, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(TopKScorerTest, LruEvictsLeastRecentUser) {
+  const ServingModel model = RandomModel(10, 30, 4, 3);
+  TopKScorer scorer(ScoreCacheConfig{.capacity = 2});
+  bool hit = false;
+  scorer.TopK(model, 0, 5, &hit);  // cache: {0}
+  scorer.TopK(model, 1, 5, &hit);  // cache: {1, 0}
+  scorer.TopK(model, 0, 5, &hit);  // touch 0 → {0, 1}
+  EXPECT_TRUE(hit);
+  scorer.TopK(model, 2, 5, &hit);  // evicts 1 → {2, 0}
+  scorer.TopK(model, 0, 5, &hit);
+  EXPECT_TRUE(hit);
+  scorer.TopK(model, 1, 5, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(scorer.cache_size(), 2u);
+}
+
+TEST(TopKScorerTest, GenerationMismatchBypassesStaleEntry) {
+  // Same user, two models with different generations: the slate cached
+  // under generation 1 must not be served for the generation-2 model even
+  // without an InvalidateAll() call.
+  ModelRegistry registry;
+  registry.Publish(ConstantModel(4, 20, 4, 1.0));
+  auto gen1 = registry.Acquire();
+  registry.Publish(ConstantModel(4, 20, 4, 2.0));
+  auto gen2 = registry.Acquire();
+
+  TopKScorer scorer;
+  bool hit = false;
+  const auto old_slate = scorer.TopK(*gen1, 0, 3, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_DOUBLE_EQ(old_slate[0].score, 4.0);  // dim·1
+  const auto new_slate = scorer.TopK(*gen2, 0, 3, &hit);
+  EXPECT_FALSE(hit) << "stale generation must miss";
+  EXPECT_DOUBLE_EQ(new_slate[0].score, 8.0);  // dim·2
+}
+
+// -------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistryTest, PublishAssignsMonotonicGenerations) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.generation(), 0u);
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  EXPECT_EQ(registry.Publish(ConstantModel(2, 4, 2, 1.0)), 1u);
+  EXPECT_EQ(registry.Publish(ConstantModel(2, 4, 2, 2.0)), 2u);
+  auto model = registry.Acquire();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->generation(), 2u);
+  EXPECT_TRUE(model->IntegrityOk());
+}
+
+TEST(ModelRegistryTest, AcquiredModelSurvivesSwap) {
+  ModelRegistry registry;
+  registry.Publish(ConstantModel(2, 4, 2, 1.0));
+  auto pinned = registry.Acquire();
+  registry.Publish(ConstantModel(2, 4, 2, 9.0));
+  EXPECT_EQ(pinned->generation(), 1u);
+  EXPECT_DOUBLE_EQ(pinned->Score(0, 0), 2.0);  // still the old parameters
+}
+
+TEST(ModelRegistryTest, CheckpointRoundTripPublishes) {
+  Rng rng(5);
+  DisentangledEmbeddings emb = DisentangledEmbeddings::Create(
+      12, 17, 8, 6, 0.1, 0.0, &rng, /*use_rating_bias=*/false);
+  const std::string path = ::testing::TempDir() + "serve_registry.ckpt";
+  ASSERT_TRUE(SaveDisentangledEmbeddings(emb, path).ok());
+
+  ModelRegistry registry;
+  DisentangledShape shape;
+  shape.num_users = 12;
+  shape.num_items = 17;
+  shape.total_dim = 8;
+  shape.primary_dim = 6;
+  uint64_t generation = 0;
+  const Status st = registry.PublishDisentangledCheckpoint(
+      path, shape, std::vector<double>(17, 1.0), &generation);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(generation, 1u);
+  auto model = registry.Acquire();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_users(), 12u);
+  EXPECT_EQ(model->num_items(), 17u);
+  EXPECT_EQ(model->dim(), 6u);
+  // Serving scores == the trained rating head, bit for bit.
+  for (size_t u = 0; u < 12; ++u) {
+    for (size_t i = 0; i < 17; ++i) {
+      EXPECT_DOUBLE_EQ(model->Score(u, i), emb.RatingLogit(u, i));
+    }
+  }
+}
+
+// ------------------------------------------------------ LatencyHistogram
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndInRange) {
+  LatencyHistogram hist;
+  for (int us = 1; us <= 1000; ++us) hist.Record(us);
+  const auto s = hist.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean_us, 500.5, 1.0);
+  EXPECT_LE(s.p50_us, s.p95_us);
+  EXPECT_LE(s.p95_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.max_us * 1.25);
+  // Geometric buckets have ≤25% width: percentile error is bounded.
+  EXPECT_NEAR(s.p50_us, 500.0, 130.0);
+  EXPECT_NEAR(s.p99_us, 990.0, 250.0);
+  EXPECT_NEAR(s.max_us, 1000.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, EmptyAndReset) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Summarize().count, 0u);
+  hist.Record(10.0);
+  EXPECT_EQ(hist.Summarize().count, 1u);
+  hist.Reset();
+  EXPECT_EQ(hist.Summarize().count, 0u);
+}
+
+// ------------------------------------------------------ RecommendServer
+
+ServerConfig TestConfig(size_t threads) {
+  ServerConfig config;
+  config.num_threads = threads;
+  config.default_k = 5;
+  config.default_deadline_ms = -1;  // no deadline unless a test asks
+  config.cache.capacity = 64;
+  return config;
+}
+
+TEST(RecommendServerTest, ServesExactSlatesConcurrently) {
+  ModelRegistry registry;
+  const ServingModel reference = RandomModel(30, 120, 8, 11);
+  registry.Publish(RandomModel(30, 120, 8, 11));  // same seed → same params
+
+  RecommendServer server(&registry, TestConfig(4));
+  std::vector<std::future<Recommendation>> futures;
+  for (size_t r = 0; r < 300; ++r) {
+    futures.push_back(server.Submit({.user = r % 30, .k = 10}));
+  }
+  for (size_t r = 0; r < futures.size(); ++r) {
+    const Recommendation rec = futures[r].get();
+    EXPECT_FALSE(rec.degraded);
+    const auto expected = BruteForceTopK(reference, r % 30, 10);
+    ASSERT_EQ(rec.items.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(rec.items[i].item, expected[i].item);
+    }
+  }
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests, 300u);
+  EXPECT_EQ(stats.degraded, 0u);
+  // 30 distinct users each miss cold at least once; repeats hit. (Two
+  // in-flight requests for the same user may both miss, so the split is
+  // bounded, not exact.)
+  EXPECT_GE(stats.cache_misses, 30u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 300u);
+  EXPECT_GE(stats.cache_hits, 200u);
+  EXPECT_EQ(stats.total_us.count, 300u);
+  EXPECT_GT(stats.total_us.p99_us, 0.0);
+}
+
+TEST(RecommendServerTest, ZeroDeadlineDegradesDeterministically) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(10, 50, 8, 13));
+  auto model = registry.Acquire();
+
+  ServerConfig config = TestConfig(2);
+  config.default_deadline_ms = 0.0;  // every request is born expired
+  RecommendServer server(&registry, config);
+
+  for (int round = 0; round < 20; ++round) {
+    const Recommendation rec = server.Recommend({.user = 3, .k = 4});
+    ASSERT_TRUE(rec.degraded);
+    ASSERT_EQ(rec.items.size(), 4u);
+    const auto& ranking = model->popularity_ranking();
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(rec.items[i].item, ranking[i]);
+      EXPECT_DOUBLE_EQ(rec.items[i].score, model->popularity(ranking[i]));
+    }
+  }
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.degraded, 20u);
+  EXPECT_DOUBLE_EQ(stats.degraded_rate(), 1.0);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(RecommendServerTest, PerRequestDeadlineOverridesDefault) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(10, 50, 8, 13));
+  RecommendServer server(&registry, TestConfig(1));
+  const Recommendation expired =
+      server.Recommend({.user = 1, .k = 3, .deadline_ms = 0.0});
+  EXPECT_TRUE(expired.degraded);
+  const Recommendation fine =
+      server.Recommend({.user = 1, .k = 3, .deadline_ms = 1e6});
+  EXPECT_FALSE(fine.degraded);
+}
+
+TEST(RecommendServerTest, HotSwapNeverServesTornModelUnderLoad) {
+  constexpr size_t kDim = 8;
+  constexpr size_t kItems = 60;
+  ModelRegistry registry;
+  registry.Publish(ConstantModel(16, kItems, kDim, 1.0));
+
+  ServerConfig config = TestConfig(4);
+  RecommendServer server(&registry, config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Recommendation rec =
+            server.Recommend({.user = rng.UniformIndex(16), .k = 5});
+        served.fetch_add(1, std::memory_order_relaxed);
+        // Every score of generation g's model is kDim·g: the slate tells
+        // us exactly which generation produced it. A torn model or a
+        // stale cache slate shows up as a mismatched score.
+        for (const ScoredItem& item : rec.items) {
+          if (item.score != static_cast<double>(kDim) * rec.generation) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  uint64_t last_generation = 1;
+  for (int swap = 2; swap <= 12; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    last_generation = registry.Publish(
+        ConstantModel(16, kItems, kDim, static_cast<double>(swap)));
+    auto model = registry.Acquire();
+    EXPECT_TRUE(model->IntegrityOk());  // generation tag head == tail
+    EXPECT_EQ(model->generation(), last_generation);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(served.load(), 0u);
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.generation, last_generation);
+  EXPECT_EQ(stats.requests, served.load());
+}
+
+TEST(RecommendServerTest, SwapInvalidatesCacheEntries) {
+  ModelRegistry registry;
+  registry.Publish(ConstantModel(8, 30, 4, 1.0));
+  RecommendServer server(&registry, TestConfig(2));
+
+  Recommendation rec = server.Recommend({.user = 2, .k = 3});
+  EXPECT_FALSE(rec.cache_hit);
+  EXPECT_DOUBLE_EQ(rec.items[0].score, 4.0);
+  rec = server.Recommend({.user = 2, .k = 3});
+  EXPECT_TRUE(rec.cache_hit);
+
+  registry.Publish(ConstantModel(8, 30, 4, 3.0));
+  rec = server.Recommend({.user = 2, .k = 3});
+  EXPECT_FALSE(rec.cache_hit) << "swap must invalidate the cached slate";
+  EXPECT_DOUBLE_EQ(rec.items[0].score, 12.0);
+  EXPECT_EQ(rec.generation, 2u);
+  EXPECT_EQ(server.Snapshot().model_swaps, 1u);
+}
+
+TEST(RecommendServerTest, ResetStatsClearsCounters) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(5, 20, 4, 2));
+  RecommendServer server(&registry, TestConfig(1));
+  server.Recommend({.user = 0});
+  EXPECT_EQ(server.Snapshot().requests, 1u);
+  server.ResetStats();
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.total_us.count, 0u);
+}
+
+}  // namespace
+}  // namespace dtrec::serve

@@ -1,0 +1,205 @@
+// dtrec_serve: stand up the serving subsystem end to end — train a DT-DR
+// model on a coat-like world (or hot-load an existing checkpoint), publish
+// it to a ModelRegistry, fan synthetic RecommendRequests across the worker
+// pool, optionally hot-swap a retrained checkpoint mid-stream, and print
+// the ServerStats latency/counter table.
+//
+//   dtrec_serve [key=value ...]
+//
+// keys:
+//   requests=2000     number of synthetic requests to serve
+//   threads=4         worker pool size
+//   k=10              slate size
+//   deadline_ms=50    per-request deadline (0 = degrade everything, -1 = off)
+//   cache=1024        score-cache capacity in users (0 disables)
+//   swap_mid_run=1    retrain + hot-swap a second checkpoint halfway
+//   epochs=10 dim=16 seed=42   training knobs
+//   ckpt=<path>       checkpoint to load instead of training from scratch
+//                     (shape must match dim=; written there after training
+//                     otherwise)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/dt_dr.h"
+#include "data/rating_dataset.h"
+#include "serve/model_registry.h"
+#include "serve/recommend_server.h"
+#include "synth/coat_like.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace dtrec {
+namespace {
+
+using serve::DisentangledShape;
+using serve::ModelRegistry;
+using serve::Recommendation;
+using serve::RecommendRequest;
+using serve::RecommendServer;
+using serve::ServerConfig;
+using serve::ServerStats;
+
+using ArgMap = std::map<std::string, std::string>;
+
+double GetNum(const ArgMap& args, const std::string& key, double fallback) {
+  auto it = args.find(key);
+  return it == args.end() ? fallback
+                          : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Trains DT-DR on `dataset` and checkpoints it to `path`.
+Status TrainAndCheckpoint(const RatingDataset& dataset,
+                          const TrainConfig& config,
+                          const std::string& path) {
+  DtDrTrainer trainer(config);
+  DTREC_RETURN_IF_ERROR(trainer.Fit(dataset));
+  return SaveDisentangledEmbeddings(trainer.embeddings(), path);
+}
+
+void AddStageRow(TableWriter* table, const std::string& stage,
+                 const serve::LatencyHistogram::Summary& s) {
+  table->AddRow({stage, StrFormat("%llu", (unsigned long long)s.count),
+                 FormatDouble(s.mean_us, 1), FormatDouble(s.p50_us, 1),
+                 FormatDouble(s.p95_us, 1), FormatDouble(s.p99_us, 1),
+                 FormatDouble(s.max_us, 1)});
+}
+
+int Main(int argc, char** argv) {
+  ArgMap args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      return 2;
+    }
+    args[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+
+  const size_t requests = static_cast<size_t>(GetNum(args, "requests", 2000));
+  const size_t threads = static_cast<size_t>(GetNum(args, "threads", 4));
+  const size_t k = static_cast<size_t>(GetNum(args, "k", 10));
+  const double deadline_ms = GetNum(args, "deadline_ms", 50.0);
+  const size_t cache = static_cast<size_t>(GetNum(args, "cache", 1024));
+  const bool swap_mid_run = GetNum(args, "swap_mid_run", 1) != 0;
+  const uint64_t seed = static_cast<uint64_t>(GetNum(args, "seed", 42));
+
+  TrainConfig config;
+  config.epochs = static_cast<size_t>(GetNum(args, "epochs", 10));
+  config.embedding_dim = static_cast<size_t>(GetNum(args, "dim", 16));
+  config.seed = seed;
+
+  // --- train or load ---------------------------------------------------
+  const SimulatedData world = MakeCoatLike(seed);
+  const RatingDataset& dataset = world.dataset;
+  std::string ckpt = args.count("ckpt") ? args.at("ckpt")
+                                        : "/tmp/dtrec_serve_dtdr.ckpt";
+  if (!args.count("ckpt")) {
+    std::printf("training DT-DR on %s ...\n",
+                dataset.DebugString().c_str());
+    const Stopwatch train_watch;
+    if (Status st = TrainAndCheckpoint(dataset, config, ckpt); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("trained + checkpointed in %.1fs -> %s\n",
+                train_watch.ElapsedSeconds(), ckpt.c_str());
+  }
+
+  // --- publish ---------------------------------------------------------
+  ModelRegistry registry;
+  DisentangledShape shape;
+  shape.num_users = dataset.num_users();
+  shape.num_items = dataset.num_items();
+  shape.total_dim = config.embedding_dim;
+  const std::vector<size_t> item_counts = dataset.ItemCounts();
+  std::vector<double> popularity(item_counts.begin(), item_counts.end());
+  if (Status st = registry.PublishDisentangledCheckpoint(ckpt, shape,
+                                                         popularity);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("published generation %llu (%zu users x %zu items, dim %zu)\n",
+              (unsigned long long)registry.generation(), shape.num_users,
+              shape.num_items, (3 * shape.total_dim) / 4);
+
+  // --- serve -----------------------------------------------------------
+  ServerConfig server_config;
+  server_config.num_threads = threads;
+  server_config.default_k = k;
+  server_config.default_deadline_ms = deadline_ms;
+  server_config.cache.capacity = cache;
+  RecommendServer server(&registry, server_config);
+
+  std::printf("serving %zu requests on %zu threads (k=%zu, deadline=%gms, "
+              "cache=%zu users)...\n",
+              requests, threads, k, deadline_ms, cache);
+  Rng traffic_rng(seed + 1);
+  const Stopwatch serve_watch;
+  std::vector<std::future<Recommendation>> futures;
+  futures.reserve(requests);
+  for (size_t r = 0; r < requests; ++r) {
+    if (swap_mid_run && r == requests / 2) {
+      // Hot reload: retrain with a fresh seed and republish. In-flight
+      // requests keep their pinned model; later ones pick up gen 2.
+      TrainConfig retrain = config;
+      retrain.seed = seed + 7;
+      retrain.epochs = std::max<size_t>(config.epochs / 2, 1);
+      if (Status st = TrainAndCheckpoint(dataset, retrain, ckpt); !st.ok()) {
+        return Fail(st);
+      }
+      if (Status st = registry.PublishDisentangledCheckpoint(ckpt, shape,
+                                                             popularity);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::printf("hot-swapped to generation %llu at request %zu\n",
+                  (unsigned long long)registry.generation(), r);
+    }
+    futures.push_back(
+        server.Submit({.user = traffic_rng.UniformIndex(shape.num_users)}));
+  }
+  size_t non_empty = 0;
+  for (auto& future : futures) {
+    if (!future.get().items.empty()) ++non_empty;
+  }
+  const double elapsed = serve_watch.ElapsedSeconds();
+  const double qps = requests / elapsed;
+
+  // --- report ----------------------------------------------------------
+  const ServerStats stats = server.Snapshot();
+  TableWriter table(StrFormat("dtrec_serve: %zu requests, %zu threads, "
+                              "%.0f QPS",
+                              requests, threads, qps));
+  table.SetHeader({"stage", "count", "mean_us", "p50_us", "p95_us",
+                   "p99_us", "max_us"});
+  AddStageRow(&table, "queue", stats.queue_us);
+  AddStageRow(&table, "score", stats.score_us);
+  AddStageRow(&table, "total", stats.total_us);
+  table.RenderConsole(std::cout);
+  std::printf("\n%s\n", stats.Summary().c_str());
+
+  if (non_empty != requests) {
+    std::fprintf(stderr, "%zu/%zu responses had empty slates\n",
+                 requests - non_empty, requests);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtrec
+
+int main(int argc, char** argv) { return dtrec::Main(argc, argv); }
