@@ -15,6 +15,7 @@
 #include "synth/coat_like.h"
 #include "synth/kuairec_like.h"
 #include "synth/yahoo_like.h"
+#include "util/numeric_guard.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -23,6 +24,16 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
+
+  // Timing numbers from a guarded build are not comparable: every tensor
+  // op re-scans its output for non-finite values. Say so up front.
+  if (kNumericChecksEnabled) {
+    std::cout << "build flavor: DTREC_NUMERIC_CHECKS=ON — guarded build; "
+                 "do NOT report these timings\n";
+  } else {
+    std::cout << "build flavor: DTREC_NUMERIC_CHECKS=OFF — timings are "
+                 "reportable\n";
+  }
 
   const std::vector<std::string> methods = {
       "ESMM",      "IPS",      "Multi-IPS", "ESCM2-IPS", "DT-IPS",

@@ -6,6 +6,7 @@
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec::ag {
 namespace {
@@ -19,6 +20,13 @@ Tape* CheckSameTape(Var a, Var b) {
 void CheckSameShape(const Matrix& a, const Matrix& b) {
   DTREC_CHECK_EQ(a.rows(), b.rows());
   DTREC_CHECK_EQ(a.cols(), b.cols());
+}
+
+/// Pass-through that pins a non-finite forward value to the autograd op
+/// that produced it (active only under DTREC_NUMERIC_CHECKS).
+Matrix Checked(Matrix m, const char* op) {
+  DTREC_ASSERT_FINITE(m, op);
+  return m;
 }
 
 }  // namespace
@@ -73,7 +81,7 @@ Var Div(Var a, Var b) {
   CheckSameShape(a.value(), b.value());
   const size_t pa = a.id(), pb = b.id();
   return tape->MakeNode(
-      Divide(a.value(), b.value()), {pa, pb},
+      Checked(Divide(a.value(), b.value()), "ag::Div"), {pa, pb},
       [pa, pb](Tape* t, size_t self) {
         const Matrix& g = *t->MutableGrad(self);
         const Matrix& out = t->ValueAt(self);  // a/b
@@ -95,7 +103,8 @@ Var DivScalar(Var a, Var s) {
   const size_t pa = a.id(), ps = s.id();
   const double sv = s.value()(0, 0);
   return tape->MakeNode(
-      dtrec::Scale(a.value(), 1.0 / sv), {pa, ps},
+      Checked(dtrec::Scale(a.value(), 1.0 / sv), "ag::DivScalar"),
+      {pa, ps},
       [pa, ps](Tape* t, size_t self) {
         const Matrix& g = *t->MutableGrad(self);
         const Matrix& out = t->ValueAt(self);  // a/s
@@ -181,7 +190,9 @@ Var Exp(Var a) {
   Tape* tape = a.tape();
   const size_t pa = a.id();
   return tape->MakeNode(
-      Map(a.value(), [](double x) { return std::exp(x); }), {pa},
+      Checked(Map(a.value(), [](double x) { return std::exp(x); }),
+              "ag::Exp"),
+      {pa},
       [pa](Tape* t, size_t self) {
         const Matrix& g = *t->MutableGrad(self);
         const Matrix& out = t->ValueAt(self);
@@ -197,7 +208,9 @@ Var Log(Var a) {
   Tape* tape = a.tape();
   const size_t pa = a.id();
   return tape->MakeNode(
-      Map(a.value(), [](double x) { return std::log(x); }), {pa},
+      Checked(Map(a.value(), [](double x) { return std::log(x); }),
+              "ag::Log"),
+      {pa},
       [pa](Tape* t, size_t self) {
         const Matrix& g = *t->MutableGrad(self);
         const Matrix& in = t->ValueAt(pa);

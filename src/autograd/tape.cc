@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec::ag {
 
@@ -54,6 +55,14 @@ void Tape::Backward(Var loss) {
     Node& node = nodes_[i];
     if (!reachable[i] || node.is_constant || !node.backward) continue;
     node.backward(this, i);
+    // Under numeric checks, catch a gradient going non-finite at the node
+    // whose backward fn produced it rather than at the optimizer step.
+    if constexpr (kNumericChecksEnabled) {
+      for (size_t p : node.parents) {
+        if (nodes_[p].is_constant) continue;
+        DTREC_ASSERT_FINITE(nodes_[p].grad, "Tape::Backward gradient");
+      }
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "baselines/dr.h"
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -77,12 +78,14 @@ void DrTrainerBase::PredictionStep(const Batch& batch) {
     pseudo(i, 0) = PseudoLabel(batch.users[i], batch.items[i]);
     const double p = ClipPropensity(BatchPropensity(batch, i),
                                     config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     const double o_over_p = batch.observed(i, 0) / p;
     w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
     w_observed(i, 0) = o_over_p * inv_b;
     w_sn(i, 0) = o_over_p;
     inv_weight_sum += o_over_p;
   }
+  DTREC_ASSERT_FINITE(w_observed, "DrTrainerBase::PredictionStep weights");
 
   ag::Tape tape;
   std::vector<ag::Var> leaves = pred_.MakeLeaves(&tape);
@@ -139,9 +142,11 @@ void DrTrainerBase::ImputationStep(const Batch& batch) {
     target_e(i, 0) = diff * diff - (UseTargeting() ? last_delta_ : 0.0);
     const double p = ClipPropensity(BatchPropensity(batch, i),
                                     config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     w(i, 0) = ImputationWeight(batch.observed(i, 0), p) * inv_b;
     total_weight += w(i, 0);
   }
+  DTREC_ASSERT_FINITE(w, "DrTrainerBase::ImputationStep weights");
   if (total_weight == 0.0) return;
 
   ag::Tape tape;

@@ -1,6 +1,7 @@
 #include "baselines/escm2.h"
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 namespace {
@@ -49,10 +50,12 @@ void Escm2DrTrainer::TrainStep(const Batch& batch) {
   Matrix w_imputed(b, 1), w_observed(b, 1);
   for (size_t i = 0; i < b; ++i) {
     const double p = ClipPropensity(p_hat(i, 0), config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     const double o_over_p = batch.observed(i, 0) / p;
     w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
     w_observed(i, 0) = o_over_p * inv_b;
   }
+  DTREC_ASSERT_FINITE(w_observed, "Escm2DrTrainer weights");
 
   ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), cvr_prob));
   ag::Var e_hat_pred = ag::Square(ag::Sub(ag::Detach(imp_prob), cvr_prob));

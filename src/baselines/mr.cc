@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 namespace {
@@ -70,9 +71,11 @@ void MrTrainer::TrainStep(const Batch& batch) {
           propensity_candidates_[j]->Propensity(batch.users[i],
                                                 batch.items[i]),
           config_.propensity_clip);
+      DTREC_ASSERT_PROPENSITY(p);
       inv_p_candidates(i, j) = 1.0 / p;
     }
   }
+  DTREC_ASSERT_FINITE(inv_p_candidates, "MrTrainer inverse propensities");
   // Candidate pseudo-labels.
   Matrix mf_pseudo(b, 1);
   for (size_t i = 0; i < b; ++i) {

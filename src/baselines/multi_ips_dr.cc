@@ -1,6 +1,7 @@
 #include "baselines/multi_ips_dr.h"
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -38,11 +39,13 @@ void MultiDrTrainer::TrainStep(const Batch& batch) {
   Matrix w_resid(b, 1);
   for (size_t i = 0; i < b; ++i) {
     const double p = ClipPropensity(p_hat(i, 0), config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     const double o_over_p = batch.observed(i, 0) / p;
     w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
     w_observed(i, 0) = o_over_p * inv_b;
     w_resid(i, 0) = o_over_p * inv_b;
   }
+  DTREC_ASSERT_FINITE(w_observed, "MultiDrTrainer weights");
 
   ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), cvr_prob));
   // ê for the prediction tower: pseudo-label tower detached.

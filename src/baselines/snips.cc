@@ -1,6 +1,7 @@
 #include "baselines/snips.h"
 
 #include "propensity/propensity.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -13,11 +14,13 @@ void SnipsTrainer::TrainStep(const Batch& batch) {
     if (batch.observed(i, 0) == 0.0) continue;
     const double p = ClipPropensity(BatchPropensity(batch, i),
                                     config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     w(i, 0) = 1.0 / p;
     weight_sum += w(i, 0);
   }
   if (weight_sum == 0.0) return;
   for (size_t i = 0; i < batch.size(); ++i) w(i, 0) /= weight_sum;
+  DTREC_ASSERT_FINITE(w, "SnipsTrainer self-normalized weights");
 
   ag::Tape tape;
   std::vector<ag::Var> leaves = pred_.MakeLeaves(&tape);

@@ -4,6 +4,7 @@
 
 #include "optim/lr_schedule.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -78,8 +79,10 @@ Matrix MfJointTrainerBase::IpsWeights(
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch.observed(i, 0) == 0.0) continue;
     const double p = ClipPropensity(propensity(i), config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     w(i, 0) = inv_b / p;
   }
+  DTREC_ASSERT_FINITE(w, "MfJointTrainerBase::IpsWeights");
   return w;
 }
 

@@ -1,6 +1,7 @@
 #include "core/dt_dr.h"
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -41,11 +42,13 @@ void DtDrTrainer::TrainStep(const Batch& batch) {
   for (size_t i = 0; i < b; ++i) {
     clipped_p(i, 0) = ClipPropensity(Sigmoid(prop_logits(i, 0)),
                                      config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(clipped_p(i, 0));
     pseudo(i, 0) = imp_.PredictProbability(batch.users[i], batch.items[i]);
     const double o_over_p = batch.observed(i, 0) / clipped_p(i, 0);
     w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
     w_observed(i, 0) = o_over_p * inv_b;
   }
+  DTREC_ASSERT_FINITE(w_observed, "DtDrTrainer DR weights");
 
   ag::Var probs = ag::Sigmoid(graph.rating_logits);
   ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), probs));

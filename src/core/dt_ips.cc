@@ -3,6 +3,7 @@
 #include "core/losses.h"
 #include "tensor/ops.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -121,8 +122,10 @@ void DtIpsTrainer::TrainStep(const Batch& batch) {
     if (batch.observed(i, 0) == 0.0) continue;
     const double p = ClipPropensity(Sigmoid(prop_logits(i, 0)),
                                     config_.propensity_clip);
+    DTREC_ASSERT_PROPENSITY(p);
     w(i, 0) = inv_b / p;
   }
+  DTREC_ASSERT_FINITE(w, "DtIpsTrainer IPS weights");
   ag::Var e =
       SquaredErrorVsLabels(&tape, graph.rating_logits, batch.ratings);
   ag::Var ips_loss = ag::WeightedSumElems(e, w);

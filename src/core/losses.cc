@@ -1,10 +1,13 @@
 #include "core/losses.h"
 
 #include "tensor/ops.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
 ag::Var DisentangleLoss(const DisentangledGraph& graph) {
+  DTREC_ASSERT_FINITE(graph.p_primary.value(), "DisentangleLoss input P'");
+  DTREC_ASSERT_FINITE(graph.q_primary.value(), "DisentangleLoss input Q'");
   // Normalized by the table heights so the β weight is dataset-size
   // independent: the raw ‖P′ᵀP″‖_F² grows linearly with |U| at fixed
   // embedding statistics, which would make any fixed β either inert on

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "metrics/stats.h"
+#include "propensity/propensity.h"
 #include "synth/mnar_generator.h"
 #include "util/logging.h"
+#include "util/numeric_guard.h"
 #include "util/random.h"
 
 namespace dtrec {
@@ -33,9 +35,13 @@ double IpsEstimate(const Matrix& errors, const Matrix& observed,
   double total = 0.0;
   for (size_t i = 0; i < errors.size(); ++i) {
     if (observed.at_flat(i) != 0.0) {
-      total += errors.at_flat(i) / propensity.at_flat(i);
+      const double p = ClipPropensity(propensity.at_flat(i),
+                                      kEstimatorPropensityFloor);
+      DTREC_ASSERT_PROPENSITY(p);
+      total += errors.at_flat(i) / p;
     }
   }
+  DTREC_ASSERT_FINITE_VAL(total, "IpsEstimate");
   return total / static_cast<double>(errors.size());
 }
 
@@ -48,10 +54,13 @@ double DrEstimate(const Matrix& errors, const Matrix& imputed,
   for (size_t i = 0; i < errors.size(); ++i) {
     total += imputed.at_flat(i);
     if (observed.at_flat(i) != 0.0) {
-      total += (errors.at_flat(i) - imputed.at_flat(i)) /
-               propensity.at_flat(i);
+      const double p = ClipPropensity(propensity.at_flat(i),
+                                      kEstimatorPropensityFloor);
+      DTREC_ASSERT_PROPENSITY(p);
+      total += (errors.at_flat(i) - imputed.at_flat(i)) / p;
     }
   }
+  DTREC_ASSERT_FINITE_VAL(total, "DrEstimate");
   return total / static_cast<double>(errors.size());
 }
 

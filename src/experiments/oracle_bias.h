@@ -21,11 +21,19 @@ double IdealLoss(const Matrix& errors);
 /// when nothing is observed.
 double NaiveEstimate(const Matrix& errors, const Matrix& observed);
 
-/// IPS estimator (Eq. 3) with per-cell propensities.
+/// Propensity floor applied by the estimators below. The oracle
+/// propensities driving Table I are bounded well away from zero, so the
+/// clip never binds in the paper's exactness experiments — it only bounds
+/// the inverse weight when a caller feeds a degenerate p ≈ 0.
+inline constexpr double kEstimatorPropensityFloor = 1e-6;
+
+/// IPS estimator (Eq. 3) with per-cell propensities, clipped from below at
+/// kEstimatorPropensityFloor.
 double IpsEstimate(const Matrix& errors, const Matrix& observed,
                    const Matrix& propensity);
 
-/// DR estimator (Eq. 4) with per-cell propensities and imputed errors.
+/// DR estimator (Eq. 4) with per-cell propensities (clipped as above) and
+/// imputed errors.
 double DrEstimate(const Matrix& errors, const Matrix& imputed,
                   const Matrix& observed, const Matrix& propensity);
 

@@ -2,6 +2,7 @@
 
 #include "data/samplers.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 #include "util/random.h"
 
 namespace dtrec {
@@ -50,7 +51,9 @@ Status LogisticPropensity::Fit(const RatingDataset& dataset) {
 double LogisticPropensity::Propensity(size_t user, size_t item) const {
   DTREC_CHECK_LT(user, user_logit_.size());
   DTREC_CHECK_LT(item, item_logit_.size());
-  return Sigmoid(user_logit_[user] + item_logit_[item] + bias_);
+  const double p = Sigmoid(user_logit_[user] + item_logit_[item] + bias_);
+  DTREC_ASSERT_PROPENSITY(p);
+  return p;
 }
 
 }  // namespace dtrec

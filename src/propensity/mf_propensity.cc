@@ -6,6 +6,7 @@
 #include "autograd/tape.h"
 #include "data/samplers.h"
 #include "optim/adam.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -54,7 +55,9 @@ Status MfPropensity::Fit(const RatingDataset& dataset) {
 }
 
 double MfPropensity::Propensity(size_t user, size_t item) const {
-  return model_.PredictProbability(user, item);
+  const double p = model_.PredictProbability(user, item);
+  DTREC_ASSERT_PROPENSITY(p);
+  return p;
 }
 
 }  // namespace dtrec

@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -32,8 +33,10 @@ Status PopularityPropensity::Fit(const RatingDataset& dataset) {
 double PopularityPropensity::Propensity(size_t user, size_t item) const {
   DTREC_CHECK_LT(user, user_rate_.size());
   DTREC_CHECK_LT(item, item_rate_.size());
-  return Clamp(user_rate_[user] * item_rate_[item] / overall_rate_, 1e-6,
-               1.0);
+  const double p =
+      Clamp(user_rate_[user] * item_rate_[item] / overall_rate_, 1e-6, 1.0);
+  DTREC_ASSERT_PROPENSITY(p);
+  return p;
 }
 
 }  // namespace dtrec

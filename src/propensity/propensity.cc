@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -18,7 +19,10 @@ Status ConstantPropensity::Fit(const RatingDataset& dataset) {
   return Status::OK();
 }
 
-double ConstantPropensity::Propensity(size_t, size_t) const { return value_; }
+double ConstantPropensity::Propensity(size_t, size_t) const {
+  DTREC_ASSERT_PROPENSITY(value_);
+  return value_;
+}
 
 Status NaiveBayesPropensity::Fit(const RatingDataset& dataset) {
   DTREC_RETURN_IF_ERROR(dataset.Validate());
@@ -54,6 +58,7 @@ Status NaiveBayesPropensity::Fit(const RatingDataset& dataset) {
 
 double NaiveBayesPropensity::Propensity(size_t, size_t) const {
   // Without the rating, fall back to the marginal observation rate.
+  DTREC_ASSERT_PROPENSITY(p_o_);
   return p_o_;
 }
 
@@ -63,7 +68,11 @@ double NaiveBayesPropensity::PropensityGivenRating(size_t, size_t,
   const double p_r_given_o =
       r1 == 1.0 ? p_r1_given_o_ : 1.0 - p_r1_given_o_;
   const double p_r = r1 == 1.0 ? p_r1_marginal_ : 1.0 - p_r1_marginal_;
-  return p_r_given_o * p_o_ / p_r;
+  // The plug-in estimate P(r|o)·P(o)/P(r) is not guaranteed to land in
+  // (0, 1]; clamp so downstream inverse weights stay bounded.
+  const double p = ClipPropensity(p_r_given_o * p_o_ / p_r, 1e-6);
+  DTREC_ASSERT_PROPENSITY(p);
+  return p;
 }
 
 }  // namespace dtrec

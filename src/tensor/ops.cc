@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 
 namespace dtrec {
 
@@ -18,6 +19,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
+  DTREC_ASSERT_FINITE(c, "MatMul");
   return c;
 }
 
@@ -34,6 +36,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
     }
   }
+  DTREC_ASSERT_FINITE(c, "MatMulTransA");
   return c;
 }
 
@@ -50,42 +53,46 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
       crow[j] = s;
     }
   }
+  DTREC_ASSERT_FINITE(c, "MatMulTransB");
   return c;
 }
 
 namespace {
 
-Matrix Zip(const Matrix& a, const Matrix& b, double (*f)(double, double)) {
+Matrix Zip(const Matrix& a, const Matrix& b, double (*f)(double, double),
+           const char* op) {
   DTREC_CHECK_EQ(a.rows(), b.rows());
   DTREC_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), a.cols());
   for (size_t i = 0; i < a.size(); ++i) {
     c.at_flat(i) = f(a.at_flat(i), b.at_flat(i));
   }
+  DTREC_ASSERT_FINITE(c, op);
   return c;
 }
 
 }  // namespace
 
 Matrix Add(const Matrix& a, const Matrix& b) {
-  return Zip(a, b, [](double x, double y) { return x + y; });
+  return Zip(a, b, [](double x, double y) { return x + y; }, "Add");
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  return Zip(a, b, [](double x, double y) { return x - y; });
+  return Zip(a, b, [](double x, double y) { return x - y; }, "Sub");
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  return Zip(a, b, [](double x, double y) { return x * y; });
+  return Zip(a, b, [](double x, double y) { return x * y; }, "Hadamard");
 }
 
 Matrix Divide(const Matrix& a, const Matrix& b) {
-  return Zip(a, b, [](double x, double y) { return x / y; });
+  return Zip(a, b, [](double x, double y) { return x / y; }, "Divide");
 }
 
 Matrix Scale(const Matrix& a, double alpha) {
   Matrix c = a;
   ScaleInPlace(&c, alpha);
+  DTREC_ASSERT_FINITE(c, "Scale");
   return c;
 }
 
@@ -96,6 +103,7 @@ void AddScaledInPlace(Matrix* a, const Matrix& b, double alpha) {
   for (size_t i = 0; i < a->size(); ++i) {
     a->at_flat(i) += alpha * b.at_flat(i);
   }
+  DTREC_ASSERT_FINITE(*a, "AddScaledInPlace");
 }
 
 void ScaleInPlace(Matrix* a, double alpha) {
@@ -106,12 +114,14 @@ void ScaleInPlace(Matrix* a, double alpha) {
 Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
   Matrix c(a.rows(), a.cols());
   for (size_t i = 0; i < a.size(); ++i) c.at_flat(i) = f(a.at_flat(i));
+  DTREC_ASSERT_FINITE(c, "Map");
   return c;
 }
 
 Matrix SigmoidMat(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
   for (size_t i = 0; i < a.size(); ++i) c.at_flat(i) = Sigmoid(a.at_flat(i));
+  DTREC_ASSERT_FINITE(c, "SigmoidMat");
   return c;
 }
 
@@ -123,6 +133,7 @@ double RowDot(const Matrix& a, size_t r, const Matrix& b, size_t r2) {
   const double* y = b.row(r2);
   double s = 0.0;
   for (size_t k = 0; k < a.cols(); ++k) s += x[k] * y[k];
+  DTREC_ASSERT_FINITE_VAL(s, "RowDot");
   return s;
 }
 
@@ -130,6 +141,7 @@ double FlatDot(const Matrix& a, const Matrix& b) {
   DTREC_CHECK_EQ(a.size(), b.size());
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) s += a.at_flat(i) * b.at_flat(i);
+  DTREC_ASSERT_FINITE_VAL(s, "FlatDot");
   return s;
 }
 

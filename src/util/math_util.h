@@ -42,6 +42,13 @@ inline double BinaryCrossEntropy(double y, double p) {
   return -(y * std::log(q) + (1.0 - y) * std::log(1.0 - q));
 }
 
+/// Safe reciprocal: 1 / max(v, floor). The blessed way to invert a learned
+/// propensity-like quantity (enforced by tools/dtrec_lint); the floor keeps
+/// the inverse finite when the estimate collapses toward zero.
+inline double SafeInverse(double v, double floor = 1e-12) {
+  return 1.0 / (v < floor ? floor : v);
+}
+
 /// True if |a - b| <= atol + rtol * |b|.
 inline bool AlmostEqual(double a, double b, double atol = 1e-9,
                         double rtol = 1e-7) {

@@ -196,5 +196,32 @@ TEST(EstimatorTest, HandComputedValues) {
   EXPECT_DOUBLE_EQ(NaiveEstimate(e, Matrix{{0.0, 0.0}}), 0.0);
 }
 
+// Regression for the raw-division audit: a degenerate p ≈ 0 must produce a
+// finite estimate governed by the kEstimatorPropensityFloor clip, never an
+// inf/NaN leaking into the bias tables. (Before the clip was added here,
+// p = 0 made IpsEstimate divide by zero outright.)
+TEST(EstimatorTest, NearZeroPropensityIsClippedToFiniteEstimate) {
+  Matrix e{{1.0, 4.0}};
+  Matrix o{{1.0, 1.0}};
+  Matrix p{{1e-12, 1.0}};  // far below the 1e-6 floor
+  const double ips = IpsEstimate(e, o, p);
+  ASSERT_TRUE(std::isfinite(ips));
+  // Floored at 1e-6: (1.0/1e-6 + 4.0/1.0) / 2. (The divisor here is the
+  // clip floor itself, not a propensity estimate.)
+  // dtrec-lint: allow(propensity-division)
+  const double expected = 0.5 * (1.0 / kEstimatorPropensityFloor + 4.0);
+  EXPECT_DOUBLE_EQ(ips, expected);
+
+  Matrix imp{{0.0, 0.0}};
+  const double dr = DrEstimate(e, imp, o, p);
+  ASSERT_TRUE(std::isfinite(dr));
+  EXPECT_DOUBLE_EQ(dr, expected);
+
+  // Exact zero — the fully degenerate case — is clipped the same way.
+  Matrix p_zero{{0.0, 1.0}};
+  EXPECT_TRUE(std::isfinite(IpsEstimate(e, o, p_zero)));
+  EXPECT_DOUBLE_EQ(IpsEstimate(e, o, p_zero), expected);
+}
+
 }  // namespace
 }  // namespace dtrec

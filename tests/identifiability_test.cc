@@ -33,6 +33,8 @@ TEST(Example1Test, AlgebraicIdentityBehindTheExample) {
   // σ(−4+2r)·φ(r−1) = σ(4−2r)·φ(r−3) reduces to
   // exp(2r−4)+1 = 1+exp(2r−4); spot-check the two factors' ratio.
   for (double r : {0.0, 1.7, 3.0, 5.2}) {
+    // Closed-form oracle propensities, bounded away from zero by design.
+    // dtrec-lint: allow(propensity-division)
     const double ratio_prop = Example1Propensity(Example1ModelA(), r) /
                               Example1Propensity(Example1ModelB(), r);
     const double ratio_out =

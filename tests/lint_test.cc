@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace dtrec::lint {
+namespace {
+
+std::vector<std::string> RulesIn(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  const std::vector<std::string> rules = RulesIn(findings);
+  return static_cast<size_t>(std::count(rules.begin(), rules.end(), rule));
+}
+
+// ------------------------------------------------------- classification
+
+TEST(LintClassifyTest, HeadersGetCanonicalGuardName) {
+  const FileKind k = ClassifyPath("src/util/math_util.h");
+  EXPECT_TRUE(k.is_header);
+  EXPECT_FALSE(k.is_test);
+  EXPECT_EQ(k.expected_guard, "DTREC_UTIL_MATH_UTIL_H_");
+  // Outside src/ the full path is kept.
+  EXPECT_EQ(ClassifyPath("tools/lint/lint.h").expected_guard,
+            "DTREC_TOOLS_LINT_LINT_H_");
+}
+
+TEST(LintClassifyTest, TestFilesRecognizedByDirAndStem) {
+  EXPECT_TRUE(ClassifyPath("tests/util_test.cc").is_test);
+  EXPECT_TRUE(ClassifyPath("src/foo/bar_test.cc").is_test);
+  EXPECT_FALSE(ClassifyPath("src/foo/bar.cc").is_test);
+}
+
+// ------------------------------------------------ fixture with violations
+
+// One small fixture exercising every rule; the expected findings are
+// asserted individually below.
+const char kFixture[] = R"FIX(
+double Bad(double x, double p_hat, double inv_prop) {
+  double a = x / p_hat;
+  a /= propensity_score(x);
+  a += x / inv_prop;
+  int r = rand();
+  double* leak = new double[4];
+  float f = 1.5f;
+  return a + r + *leak + f;
+}
+)FIX";
+
+TEST(LintRulesTest, FixtureTriggersEveryExpectedRule) {
+  const auto findings = LintContent("src/foo/fixture.cc", kFixture);
+  EXPECT_EQ(CountRule(findings, "propensity-division"), 3u);
+  EXPECT_EQ(CountRule(findings, "banned-rand"), 1u);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 1u);
+  EXPECT_EQ(CountRule(findings, "float-literal"), 1u);
+  // Findings carry the path and a 1-based line.
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/foo/fixture.cc");
+    EXPECT_GT(f.line, 0u);
+    EXPECT_FALSE(f.message.empty());
+  }
+}
+
+TEST(LintRulesTest, TestFilesMayUseNakedNew) {
+  const auto findings = LintContent("tests/fixture_test.cc", kFixture);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 0u);
+  // The numeric rules still apply in tests.
+  EXPECT_EQ(CountRule(findings, "propensity-division"), 3u);
+  EXPECT_EQ(CountRule(findings, "banned-rand"), 1u);
+}
+
+TEST(LintRulesTest, BlessedHelpersPass) {
+  const char* kClean = R"FIX(
+double Good(double x, double p_hat) {
+  double a = x / ClipPropensity(p_hat, 1e-6);
+  double b = x * SafeInverse(p_hat);
+  double c = x / SoftClip(p_hat);
+  return a + b + c;
+}
+)FIX";
+  const auto findings = LintContent("src/foo/clean.cc", kClean);
+  EXPECT_EQ(CountRule(findings, "propensity-division"), 0u);
+}
+
+TEST(LintRulesTest, CommentsAndStringsAreNotCode) {
+  const char* kDisguised = R"FIX(
+// double a = x / p_hat; rand(); new int;
+/* a /= propensity; 1.0f */
+const char* s = "x / p_hat rand() 1.5f";
+const char* r = R"(y / propensity new)";
+)FIX";
+  const auto findings = LintContent("src/foo/disguised.cc", kDisguised);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(LintRulesTest, IncludeLinesDoNotFeedIdentifierRules) {
+  const char* kIncludes = R"FIX(
+#include "propensity/propensity.h"
+#include <random>
+)FIX";
+  const auto findings = LintContent("src/foo/inc.cc", kIncludes);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+// ------------------------------------------------------------- suppression
+
+TEST(LintSuppressionTest, TrailingAllowSilencesThatLine) {
+  const char* kSrc =
+      "double F(double x, double p_hat) {\n"
+      "  return x / p_hat;  // dtrec-lint: allow(propensity-division)\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/a.cc", kSrc).empty());
+}
+
+TEST(LintSuppressionTest, StandaloneAllowCoversNextLine) {
+  const char* kSrc =
+      "double F(double x, double p_hat) {\n"
+      "  // dtrec-lint: allow(propensity-division)\n"
+      "  return x / p_hat;\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/a.cc", kSrc).empty());
+}
+
+TEST(LintSuppressionTest, AllowAllAndMultiRuleLists) {
+  const char* kSrc =
+      "int* G() {\n"
+      "  // dtrec-lint: allow(naked-new, banned-rand)\n"
+      "  return new int(rand());\n"
+      "}\n"
+      "int* H() {\n"
+      "  // dtrec-lint: allow(all)\n"
+      "  return new int(rand());\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/a.cc", kSrc).empty());
+}
+
+TEST(LintSuppressionTest, AllowDoesNotLeakBeyondNextLine) {
+  const char* kSrc =
+      "double F(double x, double p_hat) {\n"
+      "  // dtrec-lint: allow(propensity-division)\n"
+      "  double a = x / p_hat;\n"
+      "  double b = x / p_hat;\n"  // two lines below the allow: still flagged
+      "  return a + b;\n"
+      "}\n";
+  const auto findings = LintContent("src/a.cc", kSrc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintSuppressionTest, UnknownRuleNameIsItselfAFinding) {
+  const char* kSrc = "// dtrec-lint: allow(no-such-rule)\nint x = 0;\n";
+  const auto findings = LintContent("src/a.cc", kSrc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lint-usage");
+}
+
+// ------------------------------------------------------ header-only rules
+
+TEST(LintHeaderTest, CanonicalGuardAccepted) {
+  const char* kHeader =
+      "#ifndef DTREC_FOO_BAR_H_\n"
+      "#define DTREC_FOO_BAR_H_\n"
+      "int F();\n"
+      "#endif  // DTREC_FOO_BAR_H_\n";
+  EXPECT_TRUE(LintContent("src/foo/bar.h", kHeader).empty());
+}
+
+TEST(LintHeaderTest, WrongOrMissingGuardFlagged) {
+  const char* kWrong =
+      "#ifndef WRONG_GUARD_H\n"
+      "#define WRONG_GUARD_H\n"
+      "#endif\n";
+  EXPECT_EQ(CountRule(LintContent("src/foo/bar.h", kWrong), "include-guard"),
+            1u);
+  EXPECT_EQ(CountRule(LintContent("src/foo/bar.h", "int F();\n"),
+                      "include-guard"),
+            1u);
+}
+
+TEST(LintHeaderTest, PragmaOnceBanned) {
+  const char* kPragma = "#pragma once\nint F();\n";
+  const auto findings = LintContent("src/foo/bar.h", kPragma);
+  EXPECT_GE(CountRule(findings, "include-guard"), 1u);
+}
+
+TEST(LintIncludeHygieneTest, ViolationsFlagged) {
+  const char* kSrc =
+      "#include \"src/util/math_util.h\"\n"
+      "#include \"../util/math_util.h\"\n"
+      "#include <util/random.h>\n"
+      "#include <vector>\n"
+      "#include \"util/random.h\"\n"
+      "#include <gtest/gtest.h>\n";
+  const auto findings = LintContent("src/foo/inc.cc", kSrc);
+  EXPECT_EQ(CountRule(findings, "include-hygiene"), 3u);
+}
+
+// ------------------------------------------------------------ float rule
+
+TEST(LintFloatTest, OnlySuffixedLiteralsFlagged) {
+  const char* kSrc =
+      "double a = 1.0;\n"
+      "double b = 1.0f;\n"
+      "double c = .5F;\n"
+      "double d = 2e3f;\n"
+      "int e = 0xFF;\n"
+      "int f2 = 10;\n"
+      "double g = 1e-6;\n";
+  const auto findings = LintContent("src/foo/f.cc", kSrc);
+  EXPECT_EQ(CountRule(findings, "float-literal"), 3u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+// ----------------------------------------------------------- clang-tidy
+
+TEST(LintClangTidyTest, GoodConfigPasses) {
+  const char* kGood =
+      "Checks: 'bugprone-*'\n"
+      "WarningsAsErrors: 'bugprone-*'\n"
+      "HeaderFilterRegex: 'src/.*'\n";
+  EXPECT_TRUE(LintClangTidyConfig(".clang-tidy", kGood).empty());
+}
+
+TEST(LintClangTidyTest, MissingKeysFlagged) {
+  const auto findings =
+      LintClangTidyConfig(".clang-tidy", "Checks: 'bugprone-*'\n");
+  EXPECT_EQ(CountRule(findings, "clang-tidy-config"), 2u);
+  EXPECT_EQ(CountRule(LintClangTidyConfig(".clang-tidy", "  \n"),
+                      "clang-tidy-config"),
+            1u);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(LintReportTest, JsonShapeAndEscaping) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "banned-rand", "uses \"rand\""}};
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("uses \\\"rand\\\""), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}), "{\"count\": 0, \"findings\": []}\n");
+}
+
+TEST(LintReportTest, KnownRulesCoverEmittedRules) {
+  const auto& known = KnownRules();
+  for (const char* rule :
+       {"propensity-division", "banned-rand", "naked-new", "include-guard",
+        "include-hygiene", "float-literal", "lint-usage"}) {
+    EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
+        << rule;
+  }
+}
+
+}  // namespace
+}  // namespace dtrec::lint

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/math_util.h"
+#include "util/numeric_guard.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -265,6 +267,89 @@ TEST(TableWriterTest, WriteCsvFileRoundTrip) {
   const std::string path = testing::TempDir() + "/dtrec_table.csv";
   ASSERT_TRUE(table.WriteCsvFile(path).ok());
 }
+
+// --------------------------------------------------------- NumericGuard
+
+/// Minimal stand-in satisfying the MatLike shape the guards expect, so
+/// util_test does not grow a dependency on tensor/.
+struct TinyMat {
+  std::vector<double> v;
+  size_t r = 1;
+  size_t size() const { return v.size(); }
+  double at_flat(size_t i) const { return v[i]; }
+  size_t rows() const { return r; }
+  size_t cols() const { return r == 0 ? 0 : v.size() / r; }
+};
+
+TEST(NumericGuardTest, FlagMatchesBuildConfig) {
+#ifdef DTREC_NUMERIC_CHECKS
+  EXPECT_TRUE(kNumericChecksEnabled);
+#else
+  EXPECT_FALSE(kNumericChecksEnabled);
+#endif
+}
+
+TEST(NumericGuardTest, FirstNonFiniteLocatesBadEntry) {
+  const TinyMat ok{{1.0, -2.5, 0.0}, 1};
+  EXPECT_EQ(numeric_internal::FirstNonFinite(ok), ok.size());
+  const TinyMat bad{{1.0, std::nan(""), 3.0}, 1};
+  EXPECT_EQ(numeric_internal::FirstNonFinite(bad), 1u);
+  const TinyMat inf{{1.0, 2.0, HUGE_VAL}, 1};
+  EXPECT_EQ(numeric_internal::FirstNonFinite(inf), 2u);
+}
+
+TEST(NumericGuardTest, WellFormedValuesPassInEveryBuild) {
+  // These must be silent no-ops whether or not checks are compiled in.
+  const TinyMat m{{0.0, 1.0, -3.5, 2.0}, 2};
+  const TinyMat same_shape{{9.0, 9.0, 9.0, 9.0}, 2};
+  DTREC_ASSERT_FINITE(m, "util_test");
+  DTREC_ASSERT_FINITE_VAL(42.0, "util_test");
+  DTREC_ASSERT_PROPENSITY(0.5);
+  DTREC_ASSERT_PROPENSITY(1.0);
+  DTREC_ASSERT_SHAPE(m, same_shape);
+}
+
+#ifdef DTREC_NUMERIC_CHECKS
+
+TEST(NumericGuardDeathTest, NonFiniteMatrixAbortsNamingTheOp) {
+  const TinyMat bad{{1.0, std::nan(""), 3.0}, 1};
+  EXPECT_DEATH(DTREC_ASSERT_FINITE(bad, "UnitTestOp"),
+               "numeric check failed.*UnitTestOp.*flat index 1");
+}
+
+TEST(NumericGuardDeathTest, NonFiniteScalarAborts) {
+  EXPECT_DEATH(DTREC_ASSERT_FINITE_VAL(std::nan(""), "ScalarOp"), "ScalarOp");
+}
+
+TEST(NumericGuardDeathTest, PropensityOutsideUnitIntervalAborts) {
+  EXPECT_DEATH(DTREC_ASSERT_PROPENSITY(0.0), "outside \\(0, 1\\]");
+  EXPECT_DEATH(DTREC_ASSERT_PROPENSITY(1.5), "outside \\(0, 1\\]");
+  EXPECT_DEATH(DTREC_ASSERT_PROPENSITY(std::nan("")), "outside \\(0, 1\\]");
+}
+
+TEST(NumericGuardDeathTest, ShapeMismatchAborts) {
+  const TinyMat a{{1.0, 2.0}, 1};
+  const TinyMat b{{1.0, 2.0, 3.0}, 1};
+  EXPECT_DEATH(DTREC_ASSERT_SHAPE(a, b), "shape mismatch");
+}
+
+#else  // !DTREC_NUMERIC_CHECKS
+
+TEST(NumericGuardTest, NoOpBuildNeverEvaluatesArguments) {
+  int evals = 0;
+  auto poisoned = [&evals]() {
+    ++evals;
+    return TinyMat{{std::nan("")}, 1};
+  };
+  // In an unchecked build the macros expand to unevaluated sizeof, so the
+  // call below must not run and the NaN must not be inspected.
+  DTREC_ASSERT_FINITE(poisoned(), "unused");
+  DTREC_ASSERT_FINITE_VAL((++evals, std::nan("")), "unused");
+  DTREC_ASSERT_PROPENSITY((++evals, -1.0));
+  EXPECT_EQ(evals, 0);
+}
+
+#endif  // DTREC_NUMERIC_CHECKS
 
 }  // namespace
 }  // namespace dtrec

@@ -1,0 +1,145 @@
+// dtrec_lint — walks the dtrec tree and enforces project idioms; see
+// tools/lint/lint.h for the rule catalogue and suppression syntax.
+//
+// Usage:
+//   dtrec_lint [--root=DIR] [--report=FILE] [--no-clang-tidy] [path...]
+//
+// Paths are root-relative files or directories to scan (default: src
+// tools bench tests). Exit code 0 = clean, 1 = findings, 2 = I/O or
+// usage error. --report writes the machine-readable JSON findings list.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string RelForwardSlash(const fs::path& path, const fs::path& root) {
+  std::string rel = fs::relative(path, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report_path;
+  bool check_clang_tidy = true;
+  std::vector<std::string> scan_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--no-clang-tidy") {
+      check_clang_tidy = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dtrec_lint [--root=DIR] [--report=FILE] "
+                   "[--no-clang-tidy] [path...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dtrec_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      scan_paths.push_back(arg);
+    }
+  }
+  if (scan_paths.empty()) scan_paths = {"src", "tools", "bench", "tests"};
+
+  const fs::path root_path(root);
+  if (!fs::exists(root_path)) {
+    std::cerr << "dtrec_lint: root '" << root << "' does not exist\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& p : scan_paths) {
+    const fs::path full = root_path / p;
+    if (fs::is_regular_file(full)) {
+      files.push_back(full);
+    } else if (fs::is_directory(full)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      std::cerr << "dtrec_lint: path '" << full.string()
+                << "' is neither a file nor a directory\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<dtrec::lint::Finding> findings;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "dtrec_lint: cannot read '" << file.string() << "'\n";
+      return 2;
+    }
+    const std::string rel = RelForwardSlash(file, root_path);
+    auto file_findings = dtrec::lint::LintContent(rel, content);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (check_clang_tidy) {
+    const fs::path tidy = root_path / ".clang-tidy";
+    std::string content;
+    if (!ReadFile(tidy, &content)) {
+      findings.push_back({".clang-tidy", 1, "clang-tidy-config",
+                          ".clang-tidy is missing from the repo root"});
+    } else {
+      auto tidy_findings =
+          dtrec::lint::LintClangTidyConfig(".clang-tidy", content);
+      findings.insert(findings.end(), tidy_findings.begin(),
+                      tidy_findings.end());
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "dtrec_lint: " << findings.size() << " finding(s) in "
+            << files.size() << " file(s) scanned\n";
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "dtrec_lint: cannot write report '" << report_path << "'\n";
+      return 2;
+    }
+    out << dtrec::lint::FindingsToJson(findings);
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,601 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dtrec::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+// Comments and string/char literals replaced by spaces (newlines kept so
+// line numbers survive); comment text collected per 0-based line for the
+// suppression parser.
+struct ScrubResult {
+  std::string code;
+  std::vector<std::string> comments;
+};
+
+ScrubResult Scrub(const std::string& s) {
+  ScrubResult out;
+  out.code.assign(s.size(), ' ');
+  size_t line = 0;
+  auto comment_at = [&out](size_t ln) -> std::string& {
+    if (out.comments.size() <= ln) out.comments.resize(ln + 1);
+    return out.comments[ln];
+  };
+
+  enum State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = kCode;
+  std::string raw_close;  // e.g. )delim" for the active raw string
+  const size_t n = s.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      if (st == kLineComment) st = kCode;
+      ++line;
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case kCode: {
+        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+          st = kLineComment;
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+          st = kBlockComment;
+          i += 2;
+          break;
+        }
+        if (c == '"') {
+          const bool raw = i > 0 && s[i - 1] == 'R' &&
+                           (i < 2 || !IsIdentChar(s[i - 2]));
+          if (raw) {
+            size_t d = i + 1;
+            while (d < n && s[d] != '(' && s[d] != '\n') ++d;
+            raw_close = ")" + s.substr(i + 1, d - (i + 1)) + "\"";
+            st = kRawString;
+            i = d < n ? d + 1 : n;
+          } else {
+            st = kString;
+            ++i;
+          }
+          break;
+        }
+        if (c == '\'') {
+          // A quote right after a digit is a C++14 separator (1'000), not
+          // the start of a char literal.
+          if (i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1]))) {
+            out.code[i] = c;
+            ++i;
+          } else {
+            st = kChar;
+            ++i;
+          }
+          break;
+        }
+        out.code[i] = c;
+        ++i;
+        break;
+      }
+      case kLineComment:
+        comment_at(line).push_back(c);
+        ++i;
+        break;
+      case kBlockComment:
+        if (c == '*' && i + 1 < n && s[i + 1] == '/') {
+          st = kCode;
+          i += 2;
+        } else {
+          comment_at(line).push_back(c);
+          ++i;
+        }
+        break;
+      case kString:
+        if (c == '\\' && i + 1 < n) {
+          i += 2;
+        } else {
+          if (c == '"') st = kCode;
+          ++i;
+        }
+        break;
+      case kChar:
+        if (c == '\\' && i + 1 < n) {
+          i += 2;
+        } else {
+          if (c == '\'') st = kCode;
+          ++i;
+        }
+        break;
+      case kRawString:
+        if (s.compare(i, raw_close.size(), raw_close) == 0) {
+          st = kCode;
+          i += raw_close.size();
+        } else {
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> LineStarts(const std::string& s) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t LineOf(const std::vector<size_t>& starts, size_t pos) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<size_t>(it - starts.begin());  // 1-based
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// "#include <path>" / "#include \"path\"" → (delimiter, path); delimiter
+// '\0' if the line is not an include directive.
+std::pair<char, std::string> ParseInclude(const std::string& raw_line) {
+  size_t i = 0;
+  const size_t n = raw_line.size();
+  while (i < n && IsSpace(raw_line[i])) ++i;
+  if (i >= n || raw_line[i] != '#') return {'\0', ""};
+  ++i;
+  while (i < n && IsSpace(raw_line[i])) ++i;
+  if (raw_line.compare(i, 7, "include") != 0) return {'\0', ""};
+  i += 7;
+  while (i < n && IsSpace(raw_line[i])) ++i;
+  if (i >= n || (raw_line[i] != '<' && raw_line[i] != '"')) return {'\0', ""};
+  const char open = raw_line[i];
+  const char close = open == '<' ? '>' : '"';
+  ++i;
+  std::string path;
+  while (i < n && raw_line[i] != close) path.push_back(raw_line[i++]);
+  return {open, path};
+}
+
+// Per-line rule suppressions from allow-comments (syntax in lint.h).
+// Line numbers are 1-based; an allowance covers its line and the next.
+struct AllowMap {
+  std::map<size_t, std::set<std::string>> by_line;
+  std::vector<Finding> usage_findings;
+};
+
+AllowMap ParseAllows(const std::string& rel_path,
+                     const std::vector<std::string>& comments) {
+  static const std::string kTag = "dtrec-lint:";
+  AllowMap out;
+  for (size_t ln0 = 0; ln0 < comments.size(); ++ln0) {
+    const std::string& text = comments[ln0];
+    size_t pos = text.find(kTag);
+    while (pos != std::string::npos) {
+      size_t p = text.find("allow(", pos + kTag.size());
+      const size_t end = p == std::string::npos
+                             ? std::string::npos
+                             : text.find(')', p + 6);
+      if (p == std::string::npos || end == std::string::npos) break;
+      std::string inner = text.substr(p + 6, end - (p + 6));
+      std::replace(inner.begin(), inner.end(), ',', ' ');
+      std::istringstream iss(inner);
+      std::string rule;
+      while (iss >> rule) {
+        const auto& known = KnownRules();
+        if (rule != "all" &&
+            std::find(known.begin(), known.end(), rule) == known.end()) {
+          out.usage_findings.push_back(
+              {rel_path, ln0 + 1, "lint-usage",
+               "allow() names unknown rule '" + rule + "'"});
+          continue;
+        }
+        out.by_line[ln0 + 1].insert(rule);
+      }
+      pos = text.find(kTag, end);
+    }
+  }
+  return out;
+}
+
+bool Allowed(const AllowMap& allows, const std::string& rule, size_t line) {
+  for (const size_t ln : {line, line > 0 ? line - 1 : 0}) {
+    const auto it = allows.by_line.find(ln);
+    if (it == allows.by_line.end()) continue;
+    if (it->second.count(rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules. Each scans the scrubbed code (comments/strings blanked,
+// include lines additionally blanked where noted) and appends findings.
+
+void CheckPropensityDivision(const std::string& rel_path,
+                             const std::string& code,
+                             const std::vector<size_t>& starts,
+                             std::vector<Finding>* findings) {
+  static const std::set<std::string> kBlessed = {"clippropensity",
+                                                 "safeinverse", "softclip"};
+  const size_t n = code.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (code[i] != '/') continue;
+    if (i > 0 && code[i - 1] == '/') continue;
+    size_t j = i + 1;
+    if (j < n && code[j] == '=') ++j;  // compound "/=" counts too
+    while (j < n && (IsSpace(code[j]) || code[j] == '(' || code[j] == ':' ||
+                     code[j] == '*' || code[j] == '&')) {
+      ++j;
+    }
+    if (j >= n || !IsIdentStart(code[j])) continue;
+    const size_t id_begin = j;
+    while (j < n && IsIdentChar(code[j])) ++j;
+    const std::string id = code.substr(id_begin, j - id_begin);
+    const std::string low = Lower(id);
+    if (kBlessed.count(low)) continue;
+    if (low.find("propensit") == std::string::npos &&
+        low.find("p_hat") == std::string::npos &&
+        low.find("inv_p") == std::string::npos) {
+      continue;
+    }
+    findings->push_back(
+        {rel_path, LineOf(starts, i), "propensity-division",
+         "raw division by '" + id +
+             "'; clip first (ClipPropensity) or use SafeInverse()"});
+  }
+}
+
+void CheckIdentifierRules(const std::string& rel_path, const std::string& code,
+                          const std::vector<size_t>& starts, bool is_test,
+                          std::vector<Finding>* findings) {
+  static const std::set<std::string> kBannedRand = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+      "random_shuffle"};
+  static const std::set<std::string> kBannedAlloc = {"new", "malloc", "calloc",
+                                                     "realloc"};
+  const size_t n = code.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsIdentStart(code[i])) {
+      ++i;
+      continue;
+    }
+    const size_t begin = i;
+    while (i < n && IsIdentChar(code[i])) ++i;
+    const std::string id = code.substr(begin, i - begin);
+    if (kBannedRand.count(id)) {
+      findings->push_back({rel_path, LineOf(starts, begin), "banned-rand",
+                           "'" + id +
+                               "' is banned; use the seeded dtrec::Rng from "
+                               "util/random.h"});
+    } else if (!is_test && kBannedAlloc.count(id)) {
+      findings->push_back(
+          {rel_path, LineOf(starts, begin), "naked-new",
+           "naked '" + id +
+               "' in non-test code; use value types or standard containers"});
+    }
+  }
+}
+
+void CheckIncludeGuard(const std::string& rel_path,
+                       const std::vector<std::string>& code_lines,
+                       const std::string& expected,
+                       std::vector<Finding>* findings) {
+  std::vector<std::pair<size_t, std::string>> nonblank;  // (1-based line, text)
+  for (size_t ln0 = 0; ln0 < code_lines.size(); ++ln0) {
+    const std::string t = Trim(code_lines[ln0]);
+    if (!t.empty()) nonblank.emplace_back(ln0 + 1, t);
+    if (t.rfind("#pragma", 0) == 0 && t.find("once") != std::string::npos) {
+      findings->push_back({rel_path, ln0 + 1, "include-guard",
+                           "#pragma once is banned; use the canonical "
+                           "#ifndef " +
+                               expected + " guard"});
+    }
+  }
+  const bool ok =
+      nonblank.size() >= 2 && nonblank[0].second == "#ifndef " + expected &&
+      nonblank[1].second == "#define " + expected;
+  if (!ok) {
+    findings->push_back({rel_path, nonblank.empty() ? 1 : nonblank[0].first,
+                         "include-guard",
+                         "header must open with '#ifndef " + expected +
+                             "' / '#define " + expected + "'"});
+  }
+}
+
+void CheckIncludeHygiene(const std::string& rel_path,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Finding>* findings) {
+  static const std::vector<std::string> kProjectPrefixes = {
+      "src/",    "util/",        "tensor/", "autograd/",    "optim/",
+      "data/",   "synth/",       "metrics/", "propensity/", "models/",
+      "baselines/", "core/",     "experiments/", "io/",     "diagnostics/",
+      "serve/",  "lint/",        "bench/",  "tests/",       "tools/"};
+  for (size_t ln0 = 0; ln0 < raw_lines.size(); ++ln0) {
+    const auto [delim, path] = ParseInclude(raw_lines[ln0]);
+    if (delim == '\0') continue;
+    const size_t line = ln0 + 1;
+    if (path.find("..") != std::string::npos) {
+      findings->push_back({rel_path, line, "include-hygiene",
+                           "include path '" + path + "' uses '..'"});
+      continue;
+    }
+    if (!path.empty() && path.front() == '/') {
+      findings->push_back({rel_path, line, "include-hygiene",
+                           "absolute include path '" + path + "'"});
+      continue;
+    }
+    if (delim == '"') {
+      if (StartsWith(path, "src/")) {
+        findings->push_back({rel_path, line, "include-hygiene",
+                             "include paths are src/-relative; drop the "
+                             "leading src/ from '" +
+                                 path + "'"});
+      }
+    } else {
+      for (const std::string& prefix : kProjectPrefixes) {
+        if (StartsWith(path, prefix)) {
+          findings->push_back({rel_path, line, "include-hygiene",
+                               "project header '" + path +
+                                   "' included with <>; use \"\" instead"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void CheckFloatLiterals(const std::string& rel_path, const std::string& code,
+                        const std::vector<size_t>& starts,
+                        std::vector<Finding>* findings) {
+  const size_t n = code.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = code[i];
+    const bool number_start =
+        std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(code[i + 1])) != 0);
+    if (!number_start) {
+      ++i;
+      continue;
+    }
+    const char prev = i > 0 ? code[i - 1] : ' ';
+    const size_t begin = i;
+    const bool hex =
+        c == '0' && i + 1 < n && (code[i + 1] == 'x' || code[i + 1] == 'X');
+    size_t j = i;
+    while (j < n) {
+      const char d = code[j];
+      if (IsIdentChar(d) || d == '.' || d == '\'') {
+        ++j;
+        continue;
+      }
+      if ((d == '+' || d == '-') && j > begin &&
+          (code[j - 1] == 'e' || code[j - 1] == 'E' || code[j - 1] == 'p' ||
+           code[j - 1] == 'P')) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    const std::string token = code.substr(begin, j - begin);
+    i = j;
+    if (IsIdentChar(prev) || prev == '.') continue;  // inside an identifier
+    if (hex) continue;
+    if (!token.empty() && (token.back() == 'f' || token.back() == 'F')) {
+      findings->push_back({rel_path, LineOf(starts, begin), "float-literal",
+                           "float literal '" + token +
+                               "' in double-precision code; drop the 'f' "
+                               "suffix"});
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FileKind ClassifyPath(const std::string& rel_path) {
+  FileKind kind;
+  kind.is_header = EndsWith(rel_path, ".h");
+  const size_t slash = rel_path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  const std::string stem = dot == std::string::npos ? base : base.substr(0, dot);
+  kind.is_test = StartsWith(rel_path, "tests/") || EndsWith(stem, "_test");
+  if (kind.is_header) {
+    std::string path = rel_path;
+    if (StartsWith(path, "src/")) path = path.substr(4);
+    std::string guard = "DTREC_";
+    for (const char c : path) {
+      guard.push_back(IsIdentChar(c) && c != '_'
+                          ? static_cast<char>(
+                                std::toupper(static_cast<unsigned char>(c)))
+                          : '_');
+    }
+    guard.push_back('_');
+    kind.expected_guard = guard;
+  }
+  return kind;
+}
+
+std::vector<Finding> LintContent(const std::string& rel_path,
+                                 const std::string& content) {
+  const FileKind kind = ClassifyPath(rel_path);
+  const ScrubResult scrub = Scrub(content);
+  const std::vector<size_t> starts = LineStarts(content);
+  const std::vector<std::string> raw_lines = SplitLines(content);
+  std::vector<std::string> code_lines = SplitLines(scrub.code);
+
+  // Blank include directives out of the scrubbed code so paths like
+  // <propensity/propensity.h> never feed the identifier-based rules;
+  // CheckIncludeHygiene sees the raw lines instead.
+  std::string code = scrub.code;
+  {
+    size_t offset = 0;
+    for (size_t ln0 = 0; ln0 < raw_lines.size(); ++ln0) {
+      const size_t len = raw_lines[ln0].size();
+      if (ParseInclude(raw_lines[ln0]).first != '\0') {
+        for (size_t k = 0; k < len; ++k) code[offset + k] = ' ';
+        code_lines[ln0].assign(len, ' ');
+      }
+      offset += len + 1;
+    }
+  }
+
+  const AllowMap allows = ParseAllows(rel_path, scrub.comments);
+
+  std::vector<Finding> raw;
+  CheckPropensityDivision(rel_path, code, starts, &raw);
+  CheckIdentifierRules(rel_path, code, starts, kind.is_test, &raw);
+  if (kind.is_header && !kind.expected_guard.empty()) {
+    CheckIncludeGuard(rel_path, code_lines, kind.expected_guard, &raw);
+  }
+  CheckIncludeHygiene(rel_path, raw_lines, &raw);
+  CheckFloatLiterals(rel_path, code, starts, &raw);
+
+  std::vector<Finding> findings;
+  for (Finding& f : raw) {
+    if (!Allowed(allows, f.rule, f.line)) findings.push_back(std::move(f));
+  }
+  for (const Finding& f : allows.usage_findings) findings.push_back(f);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> LintClangTidyConfig(const std::string& rel_path,
+                                         const std::string& content) {
+  std::vector<Finding> findings;
+  if (Trim(content).empty()) {
+    findings.push_back(
+        {rel_path, 1, "clang-tidy-config", ".clang-tidy is empty"});
+    return findings;
+  }
+  for (const std::string& key :
+       {std::string("Checks:"), std::string("WarningsAsErrors:"),
+        std::string("HeaderFilterRegex:")}) {
+    bool found = false;
+    for (const std::string& line : SplitLines(content)) {
+      if (StartsWith(Trim(line), key)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      findings.push_back({rel_path, 1, "clang-tidy-config",
+                          ".clang-tidy is missing the '" + key + "' key"});
+    }
+  }
+  return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\"count\": " << findings.size() << ", \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) os << ", ";
+    os << "{\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << JsonEscape(f.rule) << "\", \"message\": \""
+       << JsonEscape(f.message) << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+const std::vector<std::string>& KnownRules() {
+  static const std::vector<std::string> kRules = {
+      "propensity-division", "banned-rand",     "naked-new",
+      "include-guard",       "include-hygiene", "float-literal",
+      "lint-usage"};
+  return kRules;
+}
+
+}  // namespace dtrec::lint

@@ -1,0 +1,87 @@
+#ifndef DTREC_TOOLS_LINT_LINT_H_
+#define DTREC_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// dtrec_lint — project-specific static checks for the dtrec tree.
+//
+// The linter is deliberately textual: it strips comments and string
+// literals, then pattern-matches the remaining code. That is enough to
+// enforce the project idioms below without dragging in a real C++
+// frontend, and it keeps the binary dependency-free so the `lint` CTest
+// label can run under any sanitizer configuration.
+//
+// Rules (each name below is valid inside an allow-comment, shown at the
+// bottom of this block):
+//
+//   propensity-division  raw `/` or `/=` whose divisor head identifier
+//                        looks like a propensity (`propensit*`, `p_hat*`,
+//                        `inv_p*`) outside the blessed helpers
+//                        ClipPropensity / SafeInverse / SoftClip
+//   banned-rand          rand(), srand(), rand_r, drand48, lrand48,
+//                        random_shuffle — use util/random.h (seeded Rng)
+//   naked-new            `new` / `malloc` / `calloc` / `realloc` in
+//                        non-test code — dtrec owns memory via value
+//                        types and standard containers
+//   include-guard        headers must open with the canonical
+//                        `#ifndef DTREC_<PATH>_H_` pair; `#pragma once`
+//                        is banned for consistency
+//   include-hygiene      quoted includes are src/-relative (no leading
+//                        `src/`, no `..`, no absolute paths); project
+//                        headers must not be included with <angle>
+//   float-literal        f-suffixed literals (1.0f) drift against the
+//                        all-double numeric stack
+//
+// A suppression comment applies to its own line and the line directly
+// below it, so both trailing and standalone-comment-above styles work:
+//
+//   x = a / p_hat;  // dtrec-lint: allow(propensity-division)
+//
+//   // dtrec-lint: allow(naked-new)
+//   auto* raw = new Widget;
+
+namespace dtrec::lint {
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  size_t line = 0;      // 1-based
+  std::string rule;     // one of the rule names above
+  std::string message;  // human-readable detail
+};
+
+struct FileKind {
+  bool is_header = false;
+  bool is_test = false;         // relaxes naked-new
+  std::string expected_guard;   // empty → include-guard rule skipped
+};
+
+/// Classifies a repo-relative path ("src/util/math_util.h"). Test files
+/// are anything under tests/ or whose stem ends in `_test`.
+FileKind ClassifyPath(const std::string& rel_path);
+
+/// Lints one file's content against every rule applicable to its kind.
+/// Findings suppressed by allow-comments are dropped; an allow() naming
+/// an unknown rule is itself reported as `lint-usage`.
+std::vector<Finding> LintContent(const std::string& rel_path,
+                                 const std::string& content);
+
+/// Validates a .clang-tidy config body: must be non-empty and define the
+/// `Checks:`, `WarningsAsErrors:` and `HeaderFilterRegex:` keys. Reported
+/// under rule `clang-tidy-config`. (The clang-tidy binary itself is not a
+/// build dependency; the lint CTest guarantees the config stays present
+/// and well-formed for environments that do run it.)
+std::vector<Finding> LintClangTidyConfig(const std::string& rel_path,
+                                         const std::string& content);
+
+/// Machine-readable report: {"count": N, "findings": [{file,line,rule,
+/// message}...]}. Stable field order, findings in input order.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// Names of all rules LintContent can emit (excludes clang-tidy-config).
+const std::vector<std::string>& KnownRules();
+
+}  // namespace dtrec::lint
+
+#endif  // DTREC_TOOLS_LINT_LINT_H_
