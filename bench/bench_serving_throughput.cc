@@ -9,6 +9,12 @@
 //                  cache=1024  deadline_ms=-1  users=290  items=300
 //                  unique_users=0 (0 → all users; smaller → hotter cache)
 //
+// The bench keeps ServerConfig::max_queue at its unbounded default so
+// every request is admitted and the numbers measure the scoring path,
+// not the load shedder; a bounded run (max_queue > 0) sheds overflow to
+// the inline popularity slate and reports it as shed= in the stats line,
+// which deflates tail latency rather than measuring it.
+//
 // Writes bench_results/serving_throughput.csv.
 
 #include <algorithm>

@@ -15,6 +15,7 @@
 #include "synth/coat_like.h"
 #include "synth/kuairec_like.h"
 #include "synth/yahoo_like.h"
+#include "util/failpoint.h"
 #include "util/numeric_guard.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -34,6 +35,16 @@ int Run(int argc, char** argv) {
     std::cout << "build flavor: DTREC_NUMERIC_CHECKS=OFF — timings are "
                  "reportable\n";
   }
+  // Same story for fault injection: each compiled-in failpoint site is an
+  // atomic load on the training hot path. Reportable numbers come from a
+  // -DDTREC_FAILPOINTS=OFF build.
+#if DTREC_FAILPOINTS_ENABLED
+  std::cout << "build flavor: DTREC_FAILPOINTS=ON — failpoint sites "
+               "compiled in; do NOT report these timings\n";
+#else
+  std::cout << "build flavor: DTREC_FAILPOINTS=OFF — failpoint sites "
+               "compiled out\n";
+#endif
 
   const std::vector<std::string> methods = {
       "ESMM",      "IPS",      "Multi-IPS", "ESCM2-IPS", "DT-IPS",

@@ -36,6 +36,14 @@ class DibTrainer : public MfJointTrainerBase {
  protected:
   Status Setup(const RatingDataset& dataset) override;
   void TrainStep(const Batch& batch) override;
+  std::vector<CheckpointGroup> CheckpointGroups() override {
+    auto groups = MfJointTrainerBase::CheckpointGroups();
+    groups[0].params.push_back(&p1_);
+    groups[0].params.push_back(&p2_);
+    groups[0].params.push_back(&q1_);
+    groups[0].params.push_back(&q2_);
+    return groups;
+  }
 
  private:
   size_t unbiased_dim() const {

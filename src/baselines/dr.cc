@@ -59,6 +59,16 @@ double DrTrainerBase::PseudoLabel(size_t user, size_t item) const {
   return imp_.PredictProbability(user, item);
 }
 
+std::vector<CheckpointGroup> DrTrainerBase::CheckpointGroups() {
+  // Vanilla DR's frozen pre-fit imputation model replays deterministically
+  // in Setup, but the joint-learning variants keep stepping it — snapshot
+  // it (and its optimizer moments) unconditionally; for the frozen case
+  // the restored values simply equal the recomputed ones.
+  auto groups = IpsTrainer::CheckpointGroups();
+  groups.push_back(CheckpointGroup{imp_.Params(), imp_opt_.get()});
+  return groups;
+}
+
 void DrTrainerBase::TrainStep(const Batch& batch) {
   PredictionStep(batch);
   if (joint_learning_) ImputationStep(batch);

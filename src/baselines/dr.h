@@ -25,6 +25,7 @@ class DrTrainerBase : public IpsTrainer {
  protected:
   Status Setup(const RatingDataset& dataset) override;
   void TrainStep(const Batch& batch) final;
+  std::vector<CheckpointGroup> CheckpointGroups() override;
 
   /// Weight of the squared imputation residual for a cell with observation
   /// indicator `o` and clipped propensity `p`. DR-JL default: o/p.

@@ -42,6 +42,15 @@ class MrTrainer : public MfJointTrainerBase {
  protected:
   Status Setup(const RatingDataset& dataset) override;
   void TrainStep(const Batch& batch) override;
+  std::vector<CheckpointGroup> CheckpointGroups() override {
+    // Mixture logits ride in group 0 (stepped by opt_ alongside pred_);
+    // the alternating pseudo-label model keeps its own optimizer.
+    auto groups = MfJointTrainerBase::CheckpointGroups();
+    groups[0].params.push_back(&prop_logits_);
+    groups[0].params.push_back(&imp_logits_);
+    groups.push_back(CheckpointGroup{imp_.Params(), imp_opt_.get()});
+    return groups;
+  }
   void OnLearningRate(double lr) override {
     MfJointTrainerBase::OnLearningRate(lr);
     if (imp_opt_ != nullptr) imp_opt_->set_learning_rate(lr);

@@ -33,6 +33,20 @@ class TowerTrainerBase : public MfJointTrainerBase {
  protected:
   Status Setup(const RatingDataset& dataset) override;
 
+  std::vector<CheckpointGroup> CheckpointGroups() override {
+    // All towers are stepped by opt_ together with the shared embeddings,
+    // so everything lives in group 0.
+    auto groups = MfJointTrainerBase::CheckpointGroups();
+    for (Matrix* param : ctr_tower_.Params()) groups[0].params.push_back(param);
+    for (Matrix* param : cvr_tower_.Params()) groups[0].params.push_back(param);
+    if (has_imputation_) {
+      for (Matrix* param : imp_tower_.Params()) {
+        groups[0].params.push_back(param);
+      }
+    }
+    return groups;
+  }
+
   /// Hook for subclasses needing extra setup after the towers exist.
   virtual Status TowerSetup(const RatingDataset& dataset) {
     return Status::OK();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "optim/lr_schedule.h"
+#include "util/failpoint.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
 
@@ -31,8 +32,14 @@ Matrix RecommenderTrainer::PredictFullMatrix(size_t num_users,
   return out;
 }
 
-Status MfJointTrainerBase::Fit(const RatingDataset& dataset) {
+Status MfJointTrainerBase::Fit(const RatingDataset& dataset,
+                               const FitOptions& options) {
   DTREC_RETURN_IF_ERROR(dataset.Validate());
+  if (!options.checkpoint_dir.empty() && options.checkpoint_every == 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 1");
+  }
+  // Deterministic preamble: identical on a fresh run and on resume, so any
+  // state it produces that the epoch loop never mutates needs no snapshot.
   rng_ = Rng(config_.seed);
   pred_ = MfModel(PredModelConfig(dataset, rng_.NextUint64()));
   opt_ = MakeOptimizer(config_.optimizer, config_.learning_rate,
@@ -46,16 +53,58 @@ Status MfJointTrainerBase::Fit(const RatingDataset& dataset) {
     steps = (cells + config_.batch_size - 1) / config_.batch_size;
     steps = std::min(steps, config_.max_steps_per_epoch);
   }
+
+  const std::string ckpt_path =
+      options.checkpoint_dir.empty()
+          ? std::string()
+          : options.checkpoint_dir + "/train_state.ckpt";
+  size_t start_epoch = 0;
+  if (options.resume && !ckpt_path.empty()) {
+    TrainState state;
+    const Status st = LoadTrainCheckpoint(ckpt_path, &state,
+                                          CheckpointGroups());
+    if (st.ok()) {
+      if (state.method != name()) {
+        return Status::FailedPrecondition(
+            "checkpoint in " + options.checkpoint_dir + " belongs to '" +
+            state.method + "', not '" + name() + "'");
+      }
+      if (state.next_epoch > config_.epochs) {
+        return Status::FailedPrecondition(
+            "checkpoint is at epoch " + std::to_string(state.next_epoch) +
+            " but the config trains only " + std::to_string(config_.epochs));
+      }
+      rng_.set_state(state.trainer_rng);
+      sampler.mutable_rng()->set_state(state.sampler_rng);
+      start_epoch = static_cast<size_t>(state.next_epoch);
+    } else if (st.code() != StatusCode::kNotFound) {
+      // A corrupt checkpoint must surface, not silently train from scratch.
+      return st;
+    }
+  }
+
   const InverseTimeDecayLr schedule(config_.learning_rate,
                                     config_.lr_decay);
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     if (config_.lr_decay > 0.0) {
       OnLearningRate(schedule.LearningRate(static_cast<int64_t>(epoch)));
     }
+    DTREC_FAILPOINT("train/epoch_begin");
     for (size_t step = 0; step < steps; ++step) {
       TrainStep(sampler.Sample(config_.batch_size));
     }
     EpochEnd(epoch);
+    if (!ckpt_path.empty() && ((epoch + 1) % options.checkpoint_every == 0 ||
+                               epoch + 1 == config_.epochs)) {
+      TrainState state;
+      state.method = name();
+      state.next_epoch = epoch + 1;
+      state.trainer_rng = rng_.state();
+      state.sampler_rng = sampler.mutable_rng()->state();
+      DTREC_RETURN_IF_ERROR(
+          SaveTrainCheckpoint(ckpt_path, state, CheckpointGroups()));
+    }
+    DTREC_FAILPOINT("train/epoch_end");
   }
   return Status::OK();
 }

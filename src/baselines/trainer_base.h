@@ -8,6 +8,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/tape.h"
+#include "core/train_checkpoint.h"
 #include "data/rating_dataset.h"
 #include "data/samplers.h"
 #include "models/mf_model.h"
@@ -51,6 +52,20 @@ struct TrainConfig {
                                   ///< falls back to the per-dim GLM head
 };
 
+/// Checkpointing / resume controls for Fit. Default-constructed options
+/// mean "train from scratch, never touch disk" — the historical behavior.
+struct FitOptions {
+  /// Directory for the training checkpoint (`<dir>/train_state.ckpt`,
+  /// written crash-atomically). Empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Save after every N completed epochs (and always after the last).
+  size_t checkpoint_every = 1;
+  /// Restore from an existing checkpoint in `checkpoint_dir` and continue
+  /// at the epoch it recorded. A missing checkpoint file is a cold start,
+  /// not an error, so retry wrappers can pass resume=true unconditionally.
+  bool resume = false;
+};
+
 /// Interface every debiasing method implements. Training reads only
 /// dataset.train() (the biased observations); the unbiased test slice is
 /// reserved for evaluation.
@@ -64,6 +79,19 @@ class RecommenderTrainer {
 
   virtual std::string name() const = 0;
   virtual Status Fit(const RatingDataset& dataset) = 0;
+
+  /// Checkpoint-aware variant. The default rejects any request that needs
+  /// disk state (so a method without resume support cannot silently ignore
+  /// it) and otherwise behaves exactly like Fit(dataset). Every trainer
+  /// derived from MfJointTrainerBase — i.e. every method in the registry —
+  /// supports the full option set.
+  virtual Status Fit(const RatingDataset& dataset, const FitOptions& options) {
+    if (!options.checkpoint_dir.empty()) {
+      return Status::NotSupported(name() +
+                                  " does not support training checkpoints");
+    }
+    return Fit(dataset);
+  }
 
   /// Predicted probability that (user, item) is a positive interaction.
   virtual double Predict(size_t user, size_t item) const = 0;
@@ -99,7 +127,15 @@ class MfJointTrainerBase : public RecommenderTrainer {
   explicit MfJointTrainerBase(const TrainConfig& config)
       : RecommenderTrainer(config), rng_(config.seed) {}
 
-  Status Fit(const RatingDataset& dataset) final;
+  Status Fit(const RatingDataset& dataset) final {
+    return Fit(dataset, FitOptions());
+  }
+
+  /// Runs the epoch/step loop with optional periodic checkpointing and
+  /// resume (see core/train_checkpoint.h for the protocol). Failpoint
+  /// sites: "train/epoch_begin" before each epoch's steps,
+  /// "train/epoch_end" after its checkpoint save.
+  Status Fit(const RatingDataset& dataset, const FitOptions& options) final;
 
   double Predict(size_t user, size_t item) const override {
     return pred_.PredictProbability(user, item);
@@ -121,6 +157,16 @@ class MfJointTrainerBase : public RecommenderTrainer {
   /// Called when the per-epoch learning rate changes (inverse-time decay,
   /// TrainConfig::lr_decay); subclasses owning extra optimizers forward it.
   virtual void OnLearningRate(double lr) { opt_->set_learning_rate(lr); }
+
+  /// Everything the epoch loop mutates, grouped with the optimizer that
+  /// steps it — the contents of a training checkpoint. The base covers the
+  /// prediction model and main optimizer; subclasses owning extra trained
+  /// state (disentangled embeddings, towers, imputation models and their
+  /// optimizers) append to group 0 or add groups, keeping a stable order.
+  /// Called only after Setup(), so subclass state exists.
+  virtual std::vector<CheckpointGroup> CheckpointGroups() {
+    return {CheckpointGroup{pred_.Params(), opt_.get()}};
+  }
 
   /// Runs backward from `loss` and applies one optimizer step for each
   /// (leaf, parameter) pair.

@@ -1,8 +1,11 @@
 #include "core/checkpoint.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "tensor/serialization.h"
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace dtrec {
@@ -10,14 +13,14 @@ namespace {
 
 Status SaveParams(const std::vector<const Matrix*>& params,
                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
+  // Serialize everything in memory, then commit via WriteFileAtomic: a
+  // crash mid-save can no longer corrupt the previous checkpoint in place.
+  std::ostringstream out;
   for (const Matrix* param : params) {
     DTREC_RETURN_IF_ERROR(SaveMatrix(*param, &out));
   }
-  return Status::OK();
+  DTREC_FAILPOINT("checkpoint/before_commit");
+  return WriteFileAtomic(path, std::move(out).str());
 }
 
 Status LoadParams(const std::string& path,

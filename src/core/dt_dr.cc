@@ -17,6 +17,12 @@ size_t DtDrTrainer::NumParameters() const {
   return DtIpsTrainer::NumParameters() + imp_.NumParameters();
 }
 
+std::vector<CheckpointGroup> DtDrTrainer::CheckpointGroups() {
+  auto groups = DtIpsTrainer::CheckpointGroups();
+  groups.push_back(CheckpointGroup{imp_.Params(), imp_opt_.get()});
+  return groups;
+}
+
 ParamBudget DtDrTrainer::Budget() const {
   ParamBudget budget = DtIpsTrainer::Budget();
   budget.embedding_params += imp_.NumParameters();

@@ -28,6 +28,7 @@ class DtDrTrainer : public DtIpsTrainer {
  protected:
   Status Setup(const RatingDataset& dataset) override;
   void TrainStep(const Batch& batch) override;
+  std::vector<CheckpointGroup> CheckpointGroups() override;
   void OnLearningRate(double lr) override {
     DtIpsTrainer::OnLearningRate(lr);
     if (imp_opt_ != nullptr) imp_opt_->set_learning_rate(lr);

@@ -146,4 +146,18 @@ void DtIpsTrainer::EpochEnd(size_t epoch) {
   normalized_history_.push_back(emb_.NormalizedDisentangleValue());
 }
 
+std::vector<CheckpointGroup> DtIpsTrainer::CheckpointGroups() {
+  // The epoch loop steps the disentangled embeddings and (when configured)
+  // the MLP propensity head; the base pred_ model stays at its
+  // deterministic init but is cheap to include and keeps group 0 uniform.
+  auto groups = MfJointTrainerBase::CheckpointGroups();
+  for (Matrix* param : emb_.Params()) groups[0].params.push_back(param);
+  if (config_.dt_mlp_propensity) {
+    for (Matrix* param : prop_tower_.Params()) {
+      groups[0].params.push_back(param);
+    }
+  }
+  return groups;
+}
+
 }  // namespace dtrec

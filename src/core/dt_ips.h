@@ -64,6 +64,7 @@ class DtIpsTrainer : public MfJointTrainerBase {
   Status Setup(const RatingDataset& dataset) override;
   void TrainStep(const Batch& batch) override;
   void EpochEnd(size_t epoch) override;
+  std::vector<CheckpointGroup> CheckpointGroups() override;
 
   /// Builds graph + the three shared loss terms, returning the total loss
   /// to which the subclass adds its estimator-specific term.

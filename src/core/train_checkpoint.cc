@@ -1,0 +1,237 @@
+#include "core/train_checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include "tensor/serialization.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace dtrec {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'T', 'C', 'K'};
+constexpr uint32_t kFormatVersion = 1;
+// Strings inside a checkpoint (method/optimizer names) are short
+// identifiers; anything longer means we are parsing corrupt bytes.
+constexpr uint64_t kMaxNameLen = 4096;
+
+void WriteU32(std::ostream* out, uint32_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream* out, uint64_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream* out, const std::string& s) {
+  WriteU64(out, s.size());
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteRngState(std::ostream* out, const Rng::State& state) {
+  for (int i = 0; i < 4; ++i) WriteU64(out, state.s[i]);
+  const char cached = state.has_cached_normal ? 1 : 0;
+  out->write(&cached, 1);
+  out->write(reinterpret_cast<const char*>(&state.cached_normal),
+             sizeof(state.cached_normal));
+}
+
+Status ReadU64(std::istream* in, uint64_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (in->gcount() != static_cast<std::streamsize>(sizeof(*v))) {
+    return Status::InvalidArgument("truncated checkpoint field");
+  }
+  return Status::OK();
+}
+
+Status ReadString(std::istream* in, std::string* s) {
+  uint64_t len = 0;
+  DTREC_RETURN_IF_ERROR(ReadU64(in, &len));
+  if (len > kMaxNameLen) {
+    return Status::InvalidArgument("corrupt checkpoint string length");
+  }
+  s->resize(static_cast<size_t>(len));
+  in->read(s->data(), static_cast<std::streamsize>(len));
+  if (in->gcount() != static_cast<std::streamsize>(len)) {
+    return Status::InvalidArgument("truncated checkpoint string");
+  }
+  return Status::OK();
+}
+
+Status ReadRngState(std::istream* in, Rng::State* state) {
+  for (int i = 0; i < 4; ++i) DTREC_RETURN_IF_ERROR(ReadU64(in, &state->s[i]));
+  char cached = 0;
+  in->read(&cached, 1);
+  if (in->gcount() != 1 || (cached != 0 && cached != 1)) {
+    return Status::InvalidArgument("corrupt checkpoint rng state");
+  }
+  state->has_cached_normal = cached == 1;
+  in->read(reinterpret_cast<char*>(&state->cached_normal),
+           sizeof(state->cached_normal));
+  if (in->gcount() != static_cast<std::streamsize>(
+                          sizeof(state->cached_normal))) {
+    return Status::InvalidArgument("truncated checkpoint rng state");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveTrainCheckpoint(const std::string& path, const TrainState& state,
+                           const std::vector<CheckpointGroup>& groups) {
+  std::ostringstream out;
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(&out, kFormatVersion);
+  WriteString(&out, state.method);
+  WriteU64(&out, state.next_epoch);
+  WriteRngState(&out, state.trainer_rng);
+  WriteRngState(&out, state.sampler_rng);
+
+  DTREC_FAILPOINT("checkpoint/after_header");
+
+  WriteU64(&out, groups.size());
+  for (const CheckpointGroup& group : groups) {
+    WriteString(&out, group.opt != nullptr ? group.opt->name() : "");
+    WriteU64(&out, group.params.size());
+    for (const Matrix* param : group.params) {
+      DTREC_RETURN_IF_ERROR(SaveMatrix(*param, &out));
+    }
+    std::string slots;
+    if (group.opt != nullptr) {
+      std::ostringstream slot_out;
+      std::vector<const Matrix*> const_params(group.params.begin(),
+                                              group.params.end());
+      DTREC_RETURN_IF_ERROR(group.opt->SaveSlots(const_params, &slot_out));
+      slots = std::move(slot_out).str();
+    }
+    WriteString(&out, slots);
+  }
+  if (!out.good()) return Status::Internal("checkpoint serialization failed");
+
+  std::string payload = std::move(out).str();
+  const uint32_t crc = Crc32(payload);
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return WriteFileAtomic(path, std::move(payload));
+}
+
+Status LoadTrainCheckpoint(const std::string& path, TrainState* state,
+                           const std::vector<CheckpointGroup>& groups) {
+  if (state == nullptr) return Status::InvalidArgument("null state");
+  std::string contents;
+  DTREC_RETURN_IF_ERROR(ReadFile(path, &contents));
+  if (contents.size() < sizeof(kMagic) + sizeof(uint32_t) * 2) {
+    return Status::InvalidArgument("checkpoint too short: " + path);
+  }
+  // Integrity first: refuse to parse anything out of a torn or bit-flipped
+  // file. The trailer CRC covers every byte before it.
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + contents.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  contents.resize(contents.size() - sizeof(stored_crc));
+  if (Crc32(contents) != stored_crc) {
+    return Status::InvalidArgument("checkpoint checksum mismatch (corrupt): " +
+                                   path);
+  }
+
+  std::istringstream in(contents);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(version)) ||
+      version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version in " + path);
+  }
+  DTREC_RETURN_IF_ERROR(ReadString(&in, &state->method));
+  DTREC_RETURN_IF_ERROR(ReadU64(&in, &state->next_epoch));
+  DTREC_RETURN_IF_ERROR(ReadRngState(&in, &state->trainer_rng));
+  DTREC_RETURN_IF_ERROR(ReadRngState(&in, &state->sampler_rng));
+
+  uint64_t num_groups = 0;
+  DTREC_RETURN_IF_ERROR(ReadU64(&in, &num_groups));
+  if (num_groups != groups.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "checkpoint has %llu parameter groups but the trainer expects %zu",
+        static_cast<unsigned long long>(num_groups), groups.size()));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const CheckpointGroup& group = groups[g];
+    std::string opt_name;
+    DTREC_RETURN_IF_ERROR(ReadString(&in, &opt_name));
+    const std::string expected =
+        group.opt != nullptr ? group.opt->name() : "";
+    if (opt_name != expected) {
+      return Status::FailedPrecondition(
+          "checkpoint group " + std::to_string(g) + " was trained with '" +
+          opt_name + "' but the trainer uses '" + expected + "'");
+    }
+    uint64_t num_params = 0;
+    DTREC_RETURN_IF_ERROR(ReadU64(&in, &num_params));
+    if (num_params != group.params.size()) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint group %zu has %llu parameters but the trainer "
+          "expects %zu",
+          g, static_cast<unsigned long long>(num_params),
+          group.params.size()));
+    }
+    for (size_t i = 0; i < group.params.size(); ++i) {
+      auto loaded = LoadMatrix(&in);
+      if (!loaded.ok()) return loaded.status();
+      Matrix& m = loaded.value();
+      if (m.rows() != group.params[i]->rows() ||
+          m.cols() != group.params[i]->cols()) {
+        return Status::FailedPrecondition(StrFormat(
+            "checkpoint matrix %zu of group %zu is %zux%zu but the model "
+            "expects %zux%zu",
+            i, g, m.rows(), m.cols(), group.params[i]->rows(),
+            group.params[i]->cols()));
+      }
+      *group.params[i] = std::move(m);
+    }
+    std::string slots;
+    DTREC_RETURN_IF_ERROR([&]() -> Status {
+      // Slot blobs hold whole matrices, so bypass kMaxNameLen: read the
+      // length and take the rest of the stream as bounded by it.
+      uint64_t len = 0;
+      DTREC_RETURN_IF_ERROR(ReadU64(&in, &len));
+      if (len > contents.size()) {
+        return Status::InvalidArgument("corrupt checkpoint slot length");
+      }
+      slots.resize(static_cast<size_t>(len));
+      in.read(slots.data(), static_cast<std::streamsize>(len));
+      if (in.gcount() != static_cast<std::streamsize>(len)) {
+        return Status::InvalidArgument("truncated checkpoint slot blob");
+      }
+      return Status::OK();
+    }());
+    if (group.opt != nullptr) {
+      std::istringstream slot_in(slots);
+      DTREC_RETURN_IF_ERROR(group.opt->LoadSlots(group.params, &slot_in));
+      char extra = 0;
+      slot_in.read(&extra, 1);
+      if (slot_in.gcount() != 0) {
+        return Status::InvalidArgument("trailing bytes in optimizer slots");
+      }
+    } else if (!slots.empty()) {
+      return Status::FailedPrecondition(
+          "checkpoint has optimizer slots for a slot-free group");
+    }
+  }
+  char extra = 0;
+  in.read(&extra, 1);
+  if (in.gcount() != 0) {
+    return Status::InvalidArgument("trailing bytes in checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dtrec

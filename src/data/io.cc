@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 
 namespace dtrec {
@@ -49,17 +51,13 @@ Status ParseRow(const std::string& line, size_t line_number,
 
 Status WriteRatingsCsv(const std::vector<RatingTriple>& triples,
                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
+  std::ostringstream out;
   out << "user,item,rating\n";
   for (const auto& t : triples) {
     out << t.user << ',' << t.item << ',' << StrFormat("%.17g", t.rating)
         << '\n';
   }
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, std::move(out).str());
 }
 
 Result<std::vector<RatingTriple>> ReadRatingsCsv(const std::string& path) {
@@ -88,13 +86,10 @@ Result<std::vector<RatingTriple>> ReadRatingsCsv(const std::string& path) {
 Status SaveDataset(const RatingDataset& dataset, const std::string& prefix) {
   DTREC_RETURN_IF_ERROR(dataset.Validate());
   {
-    std::ofstream meta(prefix + ".meta");
-    if (!meta.is_open()) {
-      return Status::InvalidArgument("cannot open for writing: " + prefix +
-                                     ".meta");
-    }
+    std::ostringstream meta;
     meta << dataset.num_users() << ',' << dataset.num_items() << '\n';
-    if (!meta.good()) return Status::Internal("meta write failed");
+    DTREC_RETURN_IF_ERROR(
+        WriteFileAtomic(prefix + ".meta", std::move(meta).str()));
   }
   DTREC_RETURN_IF_ERROR(
       WriteRatingsCsv(dataset.train(), prefix + ".train.csv"));

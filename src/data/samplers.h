@@ -68,6 +68,10 @@ class FullMatrixBatchSampler {
   size_t num_users() const { return num_users_; }
   size_t num_items() const { return num_items_; }
 
+  /// Direct access to the sampling stream, so training resume can restore
+  /// the generator to its mid-run state (util/random.h Rng::State).
+  Rng* mutable_rng() { return &rng_; }
+
  private:
   size_t num_users_;
   size_t num_items_;

@@ -1,19 +1,82 @@
 #include "experiments/runner.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 
 #include "baselines/registry.h"
 #include "metrics/ttest.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace dtrec {
+namespace {
+
+/// Best-effort mkdir -p limited to the two levels the sweep layout needs.
+void EnsureDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0755);
+  }
+  ::mkdir(path.c_str(), 0755);
+}
+
+/// Directory-safe method slug ("DT-IPS" stays, '/' would break paths).
+std::string MethodSlug(const std::string& method) {
+  std::string slug = method;
+  for (char& c : slug) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return slug;
+}
+
+/// One training run with crash-retry: a FailpointAbort (the simulated
+/// SIGKILL) is caught and the run restarted with resume=true, picking up
+/// at the last checkpointed epoch. Real crashes obviously cannot be caught
+/// here — for those the *next process* passes resume=true via the CLI.
+Status FitWithRetry(RecommenderTrainer* trainer, const RatingDataset& dataset,
+                    const ComparisonOptions& options,
+                    const std::string& run_dir) {
+  FitOptions fit_options;
+  fit_options.checkpoint_dir = run_dir;
+  fit_options.checkpoint_every = options.checkpoint_every;
+  fit_options.resume = true;  // a missing checkpoint is a cold start
+  if (run_dir.empty()) return trainer->Fit(dataset);
+  size_t attempts = 0;
+  while (true) {
+    try {
+      return trainer->Fit(dataset, fit_options);
+    } catch (const failpoint::FailpointAbort& abort) {
+      if (attempts >= options.max_retries) throw;
+      ++attempts;
+      if (!options.quiet) {
+        DTREC_LOG(WARNING) << trainer->name() << ": " << abort.what()
+                           << "; resuming from " << run_dir << " (attempt "
+                           << attempts << "/" << options.max_retries << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<MethodResult> RunComparison(
     const std::vector<std::string>& methods, const DatasetFactory& factory,
     const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
     bool quiet) {
+  ComparisonOptions options;
+  options.quiet = quiet;
+  return RunComparison(methods, factory, profile, seeds, options);
+}
+
+std::vector<MethodResult> RunComparison(
+    const std::vector<std::string>& methods, const DatasetFactory& factory,
+    const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
+    const ComparisonOptions& options) {
+  const bool quiet = options.quiet;
   DTREC_CHECK(!seeds.empty());
 
   // Materialize one dataset per seed up front so every method sees the
@@ -34,8 +97,17 @@ std::vector<MethodResult> RunComparison(
       DTREC_CHECK(trainer_or.ok()) << trainer_or.status();
       auto trainer = std::move(trainer_or).value();
 
+      std::string run_dir;
+      if (!options.checkpoint_root.empty()) {
+        run_dir = options.checkpoint_root + "/" + MethodSlug(method) +
+                  "_seed" + StrFormat("%llu",
+                                      static_cast<unsigned long long>(
+                                          seeds[s]));
+        EnsureDir(run_dir);
+      }
       Stopwatch watch;
-      const Status st = trainer->Fit(datasets[s]);
+      const Status st = FitWithRetry(trainer.get(), datasets[s], options,
+                                     run_dir);
       DTREC_CHECK(st.ok()) << method << ": " << st.ToString();
       train_times.push_back(watch.ElapsedSeconds());
 

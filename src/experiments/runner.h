@@ -28,6 +28,19 @@ struct MethodResult {
 /// covers both data and training noise, like the paper's repeated runs).
 using DatasetFactory = std::function<RatingDataset(uint64_t seed)>;
 
+/// Fault-tolerance knobs for a multi-seed sweep. With a `checkpoint_root`,
+/// each (method, seed) run checkpoints into its own subdirectory and a run
+/// that dies at a failpoint (failpoint::FailpointAbort) is retried with
+/// resume=true up to `max_retries` times, continuing at the exact epoch
+/// the crash interrupted — the sweep-scale behavior the crash-equivalence
+/// test verifies end to end.
+struct ComparisonOptions {
+  bool quiet = false;
+  std::string checkpoint_root;  ///< empty = no checkpointing, no retry
+  size_t checkpoint_every = 1;  ///< epochs between checkpoint saves
+  size_t max_retries = 0;       ///< resume attempts per (method, seed) run
+};
+
 /// Trains and evaluates `methods` over `seeds`, computing the paired
 /// t-test of each proposed method ("DT-*") against the best baseline by
 /// AUC. `quiet` suppresses per-run progress logging.
@@ -35,6 +48,13 @@ std::vector<MethodResult> RunComparison(
     const std::vector<std::string>& methods, const DatasetFactory& factory,
     const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
     bool quiet = false);
+
+/// Fault-tolerant variant; the `quiet`-only overload above forwards here
+/// with default options.
+std::vector<MethodResult> RunComparison(
+    const std::vector<std::string>& methods, const DatasetFactory& factory,
+    const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
+    const ComparisonOptions& options);
 
 /// Renders comparison rows in the paper's Table IV layout.
 TableWriter MakeComparisonTable(const std::string& title, size_t ranking_k,

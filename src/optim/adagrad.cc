@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/serialization.h"
 #include "util/logging.h"
 
 namespace dtrec {
@@ -30,5 +31,32 @@ void AdaGrad::Step(Matrix* param, const Matrix& grad) {
 }
 
 void AdaGrad::Reset() { accum_.clear(); }
+
+Status AdaGrad::SaveSlots(const std::vector<const Matrix*>& params,
+                          std::ostream* out) const {
+  for (const Matrix* param : params) {
+    const auto it = accum_.find(param);
+    DTREC_RETURN_IF_ERROR(
+        optim_internal::WriteSlotFlag(it != accum_.end(), out));
+    if (it != accum_.end()) {
+      DTREC_RETURN_IF_ERROR(SaveMatrix(it->second, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status AdaGrad::LoadSlots(const std::vector<Matrix*>& params,
+                          std::istream* in) {
+  accum_.clear();
+  for (Matrix* param : params) {
+    auto present = optim_internal::ReadSlotFlag(in);
+    if (!present.ok()) return present.status();
+    if (!present.value()) continue;
+    Matrix acc;
+    DTREC_RETURN_IF_ERROR(optim_internal::LoadSlotMatrix(in, *param, &acc));
+    accum_.emplace(param, std::move(acc));
+  }
+  return Status::OK();
+}
 
 }  // namespace dtrec

@@ -20,6 +20,12 @@ class AdaGrad : public Optimizer {
   void Reset() override;
   std::string name() const override { return "adagrad"; }
 
+  /// Slot payload per present parameter: the squared-gradient accumulator.
+  Status SaveSlots(const std::vector<const Matrix*>& params,
+                   std::ostream* out) const override;
+  Status LoadSlots(const std::vector<Matrix*>& params,
+                   std::istream* in) override;
+
  private:
   double epsilon_;
   double weight_decay_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/serialization.h"
 #include "util/logging.h"
 
 namespace dtrec {
@@ -46,5 +47,40 @@ void Adam::Step(Matrix* param, const Matrix& grad) {
 }
 
 void Adam::Reset() { slots_.clear(); }
+
+Status Adam::SaveSlots(const std::vector<const Matrix*>& params,
+                       std::ostream* out) const {
+  for (const Matrix* param : params) {
+    const auto it = slots_.find(param);
+    DTREC_RETURN_IF_ERROR(
+        optim_internal::WriteSlotFlag(it != slots_.end(), out));
+    if (it == slots_.end()) continue;
+    const Slot& slot = it->second;
+    DTREC_RETURN_IF_ERROR(SaveMatrix(slot.m, out));
+    DTREC_RETURN_IF_ERROR(SaveMatrix(slot.v, out));
+    out->write(reinterpret_cast<const char*>(&slot.t), sizeof(slot.t));
+    if (!out->good()) return Status::Internal("adam slot write failed");
+  }
+  return Status::OK();
+}
+
+Status Adam::LoadSlots(const std::vector<Matrix*>& params, std::istream* in) {
+  slots_.clear();
+  for (Matrix* param : params) {
+    auto present = optim_internal::ReadSlotFlag(in);
+    if (!present.ok()) return present.status();
+    if (!present.value()) continue;
+    Slot slot;
+    DTREC_RETURN_IF_ERROR(optim_internal::LoadSlotMatrix(in, *param, &slot.m));
+    DTREC_RETURN_IF_ERROR(optim_internal::LoadSlotMatrix(in, *param, &slot.v));
+    in->read(reinterpret_cast<char*>(&slot.t), sizeof(slot.t));
+    if (in->gcount() != static_cast<std::streamsize>(sizeof(slot.t)) ||
+        slot.t < 0) {
+      return Status::InvalidArgument("truncated or corrupt adam step counter");
+    }
+    slots_.emplace(param, std::move(slot));
+  }
+  return Status::OK();
+}
 
 }  // namespace dtrec

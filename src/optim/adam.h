@@ -21,6 +21,13 @@ class Adam : public Optimizer {
   void Reset() override;
   std::string name() const override { return "adam"; }
 
+  /// Slot payload per present parameter: first moment m, second moment v,
+  /// then the i64 step counter t (bias correction depends on it).
+  Status SaveSlots(const std::vector<const Matrix*>& params,
+                   std::ostream* out) const override;
+  Status LoadSlots(const std::vector<Matrix*>& params,
+                   std::istream* in) override;
+
  private:
   struct Slot {
     Matrix m;  // first moment

@@ -5,9 +5,46 @@
 #include "optim/adagrad.h"
 #include "optim/adam.h"
 #include "optim/sgd.h"
+#include "tensor/serialization.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace dtrec {
+namespace optim_internal {
+
+Status WriteSlotFlag(bool present, std::ostream* out) {
+  const char flag = present ? 1 : 0;
+  out->write(&flag, 1);
+  if (!out->good()) return Status::Internal("slot flag write failed");
+  return Status::OK();
+}
+
+Result<bool> ReadSlotFlag(std::istream* in) {
+  char flag = 0;
+  in->read(&flag, 1);
+  if (in->gcount() != 1) {
+    return Status::InvalidArgument("truncated optimizer slot flag");
+  }
+  if (flag != 0 && flag != 1) {
+    return Status::InvalidArgument("corrupt optimizer slot flag");
+  }
+  return flag == 1;
+}
+
+Status LoadSlotMatrix(std::istream* in, const Matrix& like, Matrix* out) {
+  auto loaded = LoadMatrix(in);
+  if (!loaded.ok()) return loaded.status();
+  Matrix& m = loaded.value();
+  if (m.rows() != like.rows() || m.cols() != like.cols()) {
+    return Status::FailedPrecondition(StrFormat(
+        "optimizer slot is %zux%zu but its parameter is %zux%zu", m.rows(),
+        m.cols(), like.rows(), like.cols()));
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace optim_internal
 
 std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
                                          double learning_rate,

@@ -1,11 +1,14 @@
 #ifndef DTREC_OPTIM_OPTIMIZER_H_
 #define DTREC_OPTIM_OPTIMIZER_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "util/status.h"
 
 namespace dtrec {
 
@@ -31,6 +34,22 @@ class Optimizer {
   /// Human-readable name, e.g. "adam".
   virtual std::string name() const = 0;
 
+  /// Serializes the per-parameter slot state (momenta, accumulators, step
+  /// counters) for each matrix in `params`, positionally. Slots are keyed
+  /// by parameter address in memory, which means nothing on disk — so the
+  /// caller fixes an ordering (the trainer's checkpoint param list) and the
+  /// optimizer emits, per parameter: a u8 presence flag, then its
+  /// optimizer-specific payload (matrices in tensor/serialization format).
+  /// Parameters the optimizer has never stepped get flag 0.
+  virtual Status SaveSlots(const std::vector<const Matrix*>& params,
+                           std::ostream* out) const = 0;
+
+  /// Restores slot state written by SaveSlots against the same parameter
+  /// list (now the live, mutable matrices). Drops all existing slots first;
+  /// rejects shape mismatches with FailedPrecondition.
+  virtual Status LoadSlots(const std::vector<Matrix*>& params,
+                           std::istream* in) = 0;
+
   void set_learning_rate(double lr) { lr_ = lr; }
   double learning_rate() const { return lr_; }
 
@@ -50,6 +69,18 @@ std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
 /// Scales the gradients in place so their joint L2 norm is at most
 /// `max_norm`; returns the pre-clip norm. No-op when already within bound.
 double ClipGradNorm(const std::vector<Matrix*>& grads, double max_norm);
+
+// Shared plumbing for the SaveSlots/LoadSlots implementations.
+namespace optim_internal {
+
+/// u8 presence flag (0 or 1).
+Status WriteSlotFlag(bool present, std::ostream* out);
+Result<bool> ReadSlotFlag(std::istream* in);
+
+/// Loads one matrix and verifies it matches `like`'s shape.
+Status LoadSlotMatrix(std::istream* in, const Matrix& like, Matrix* out);
+
+}  // namespace optim_internal
 
 }  // namespace dtrec
 

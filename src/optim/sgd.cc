@@ -1,5 +1,6 @@
 #include "optim/sgd.h"
 
+#include "tensor/serialization.h"
 #include "util/logging.h"
 
 namespace dtrec {
@@ -40,5 +41,31 @@ void Sgd::Step(Matrix* param, const Matrix& grad) {
 }
 
 void Sgd::Reset() { velocity_.clear(); }
+
+Status Sgd::SaveSlots(const std::vector<const Matrix*>& params,
+                      std::ostream* out) const {
+  for (const Matrix* param : params) {
+    const auto it = velocity_.find(param);
+    DTREC_RETURN_IF_ERROR(
+        optim_internal::WriteSlotFlag(it != velocity_.end(), out));
+    if (it != velocity_.end()) {
+      DTREC_RETURN_IF_ERROR(SaveMatrix(it->second, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status Sgd::LoadSlots(const std::vector<Matrix*>& params, std::istream* in) {
+  velocity_.clear();
+  for (Matrix* param : params) {
+    auto present = optim_internal::ReadSlotFlag(in);
+    if (!present.ok()) return present.status();
+    if (!present.value()) continue;
+    Matrix v;
+    DTREC_RETURN_IF_ERROR(optim_internal::LoadSlotMatrix(in, *param, &v));
+    velocity_.emplace(param, std::move(v));
+  }
+  return Status::OK();
+}
 
 }  // namespace dtrec

@@ -20,6 +20,13 @@ class Sgd : public Optimizer {
   void Reset() override;
   std::string name() const override { return "sgd"; }
 
+  /// Slot payload per present parameter: the velocity matrix. Momentum-free
+  /// SGD keeps no slots, so every flag is 0.
+  Status SaveSlots(const std::vector<const Matrix*>& params,
+                   std::ostream* out) const override;
+  Status LoadSlots(const std::vector<Matrix*>& params,
+                   std::istream* in) override;
+
  private:
   double momentum_;
   double weight_decay_;

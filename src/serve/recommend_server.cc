@@ -13,7 +13,7 @@ RecommendServer::RecommendServer(const ModelRegistry* registry,
     : registry_(registry),
       config_(config),
       scorer_(config.cache),
-      pool_(config.num_threads) {
+      pool_(config.num_threads, config.max_queue) {
   DTREC_CHECK(registry != nullptr);
 }
 
@@ -26,7 +26,16 @@ std::future<Recommendation> RecommendServer::Submit(
         return Handle(request, submitted.ElapsedMicros());
       });
   std::future<Recommendation> future = task->get_future();
-  pool_.Submit([task] { (*task)(); });
+  if (!pool_.Submit([task] { (*task)(); })) {
+    // Backlog at max_queue: shed on the caller's thread with the
+    // precomputed popularity slate. Overload costs O(k) per refused
+    // request instead of an ever-longer queue of doomed scoring passes.
+    std::packaged_task<Recommendation()> shed_task([this, &request] {
+      return Handle(request, /*waited_us=*/0.0, /*shed=*/true);
+    });
+    future = shed_task.get_future();
+    shed_task();
+  }
   return future;
 }
 
@@ -35,7 +44,7 @@ Recommendation RecommendServer::Recommend(const RecommendRequest& request) {
 }
 
 Recommendation RecommendServer::Handle(const RecommendRequest& request,
-                                       double waited_us) {
+                                       double waited_us, bool shed) {
   const Stopwatch handle_watch;
   Recommendation response;
   response.queue_us = waited_us;
@@ -64,10 +73,11 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
                                  : config_.default_deadline_ms;
 
   const Stopwatch stage_watch;
-  if (deadline_ms >= 0 && waited_us >= deadline_ms * 1e3) {
+  if (shed || (deadline_ms >= 0 && waited_us >= deadline_ms * 1e3)) {
     // Budget burned in the queue: serve the precomputed popularity
     // ranking instead of burning more time on a full scoring pass.
     response.degraded = true;
+    response.shed = shed;
     const auto& ranking = model->popularity_ranking();
     response.items.reserve(k);
     for (size_t i = 0; i < k; ++i) {
@@ -84,6 +94,7 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (response.degraded) {
     degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (response.shed) shed_.fetch_add(1, std::memory_order_relaxed);
   } else if (response.cache_hit) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -99,6 +110,7 @@ ServerStats RecommendServer::Snapshot() const {
   ServerStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   stats.model_swaps = swaps_.load(std::memory_order_relaxed);
@@ -112,6 +124,7 @@ ServerStats RecommendServer::Snapshot() const {
 void RecommendServer::ResetStats() {
   requests_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);

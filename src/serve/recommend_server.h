@@ -17,6 +17,12 @@ namespace dtrec::serve {
 struct ServerConfig {
   size_t num_threads = 4;
   size_t default_k = 10;
+  /// Backlog cap for Submit(): once this many requests wait in the pool
+  /// queue, new submissions are *shed* — answered immediately on the
+  /// calling thread with the degraded popularity slate instead of joining
+  /// a queue they would only time out of. Bounds worst-case memory and
+  /// tail latency under overload. 0 = unbounded (never shed).
+  size_t max_queue = 0;
   /// Per-request latency budget (submit → response). A request whose
   /// budget is already spent when a worker picks it up is answered with
   /// the degraded popularity slate instead of a full scoring pass.
@@ -34,7 +40,8 @@ struct RecommendRequest {
 
 struct Recommendation {
   std::vector<ScoredItem> items;  ///< best-first slate
-  bool degraded = false;   ///< popularity fallback (deadline exceeded)
+  bool degraded = false;   ///< popularity fallback (deadline or shed)
+  bool shed = false;       ///< refused by the full queue (implies degraded)
   bool cache_hit = false;
   uint64_t generation = 0;  ///< model generation that produced the slate
   double queue_us = 0.0;
@@ -82,7 +89,10 @@ class RecommendServer {
 
  private:
   /// `waited_us` is the time the request spent queued before handling.
-  Recommendation Handle(const RecommendRequest& request, double waited_us);
+  /// `shed` forces the degraded popularity slate regardless of deadline
+  /// (the queue-full path — no scoring work for a request we refused).
+  Recommendation Handle(const RecommendRequest& request, double waited_us,
+                        bool shed = false);
 
   const ModelRegistry* const registry_;
   const ServerConfig config_;
@@ -93,6 +103,7 @@ class RecommendServer {
   LatencyHistogram total_hist_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> swaps_{0};

@@ -79,10 +79,11 @@ void LatencyHistogram::Reset() {
 
 std::string ServerStats::Summary() const {
   return StrFormat(
-      "requests=%llu degraded=%.1f%% cache_hit=%.1f%% swaps=%llu "
+      "requests=%llu degraded=%.1f%% shed=%llu cache_hit=%.1f%% swaps=%llu "
       "generation=%llu p50=%.0fus p99=%.0fus",
       static_cast<unsigned long long>(requests), 100.0 * degraded_rate(),
-      100.0 * cache_hit_rate(), static_cast<unsigned long long>(model_swaps),
+      static_cast<unsigned long long>(shed), 100.0 * cache_hit_rate(),
+      static_cast<unsigned long long>(model_swaps),
       static_cast<unsigned long long>(generation), total_us.p50_us,
       total_us.p99_us);
 }

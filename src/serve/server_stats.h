@@ -54,7 +54,8 @@ class LatencyHistogram {
 /// diff against an earlier snapshot.
 struct ServerStats {
   uint64_t requests = 0;      ///< completed requests
-  uint64_t degraded = 0;      ///< deadline-exceeded popularity fallbacks
+  uint64_t degraded = 0;      ///< popularity fallbacks (deadline or shed)
+  uint64_t shed = 0;          ///< refused by the full queue (⊆ degraded)
   uint64_t cache_hits = 0;    ///< slates served from the score cache
   uint64_t cache_misses = 0;  ///< slates that ran the full scoring pass
   uint64_t model_swaps = 0;   ///< registry generation changes observed

@@ -3,11 +3,19 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
 
 namespace dtrec {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'T', 'R', 'M'};
+// Version history: 1 = magic + dims + payload (no integrity check);
+// 2 = current, adds the u32 version field and the CRC-32 trailer. v1 files
+// predate the crash-safety work and are not readable anymore — regenerate.
+constexpr uint32_t kFormatVersion = 2;
 // Sanity bound: 1e9 entries is an 8 GB matrix — far above anything dtrec
 // produces, so larger dimensions indicate a corrupt stream.
 constexpr uint64_t kMaxEntries = 1000000000ULL;
@@ -16,13 +24,25 @@ constexpr uint64_t kMaxEntries = 1000000000ULL;
 
 Status SaveMatrix(const Matrix& matrix, std::ostream* out) {
   if (out == nullptr) return Status::InvalidArgument("null stream");
-  out->write(kMagic, sizeof(kMagic));
   const uint64_t rows = matrix.rows();
   const uint64_t cols = matrix.cols();
+  const size_t payload_bytes = matrix.size() * sizeof(double);
+
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, kMagic, sizeof(kMagic));
+  crc = Crc32Update(crc, &kFormatVersion, sizeof(kFormatVersion));
+  crc = Crc32Update(crc, &rows, sizeof(rows));
+  crc = Crc32Update(crc, &cols, sizeof(cols));
+  crc = Crc32Update(crc, matrix.data(), payload_bytes);
+
+  out->write(kMagic, sizeof(kMagic));
+  out->write(reinterpret_cast<const char*>(&kFormatVersion),
+             sizeof(kFormatVersion));
   out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
   out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
   out->write(reinterpret_cast<const char*>(matrix.data()),
-             static_cast<std::streamsize>(matrix.size() * sizeof(double)));
+             static_cast<std::streamsize>(payload_bytes));
+  out->write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out->good()) return Status::Internal("matrix write failed");
   return Status::OK();
 }
@@ -34,29 +54,53 @@ Result<Matrix> LoadMatrix(std::istream* in) {
   if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad matrix magic");
   }
+  uint32_t version = 0;
+  in->read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in->good()) return Status::InvalidArgument("truncated matrix header");
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported matrix format version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kFormatVersion) + ")");
+  }
   uint64_t rows = 0, cols = 0;
   in->read(reinterpret_cast<char*>(&rows), sizeof(rows));
   in->read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!in->good()) return Status::InvalidArgument("truncated matrix header");
-  if (rows * cols > kMaxEntries) {
+  // Overflow-safe dimension check: rows*cols could wrap u64 on a corrupt
+  // header, so bound via division instead of the product.
+  if (rows > kMaxEntries || cols > kMaxEntries ||
+      (cols != 0 && rows > kMaxEntries / cols)) {
     return Status::InvalidArgument("unreasonable matrix dimensions");
   }
   Matrix matrix(static_cast<size_t>(rows), static_cast<size_t>(cols));
-  in->read(reinterpret_cast<char*>(matrix.data()),
-           static_cast<std::streamsize>(matrix.size() * sizeof(double)));
-  if (in->gcount() !=
-      static_cast<std::streamsize>(matrix.size() * sizeof(double))) {
+  const std::streamsize payload_bytes =
+      static_cast<std::streamsize>(matrix.size() * sizeof(double));
+  in->read(reinterpret_cast<char*>(matrix.data()), payload_bytes);
+  if (in->gcount() != payload_bytes) {
     return Status::InvalidArgument("truncated matrix payload");
+  }
+  uint32_t stored_crc = 0;
+  in->read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (in->gcount() != static_cast<std::streamsize>(sizeof(stored_crc))) {
+    return Status::InvalidArgument("truncated matrix trailer");
+  }
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, kMagic, sizeof(kMagic));
+  crc = Crc32Update(crc, &version, sizeof(version));
+  crc = Crc32Update(crc, &rows, sizeof(rows));
+  crc = Crc32Update(crc, &cols, sizeof(cols));
+  crc = Crc32Update(crc, matrix.data(),
+                    static_cast<size_t>(payload_bytes));
+  if (crc != stored_crc) {
+    return Status::InvalidArgument("matrix checksum mismatch (corrupt file)");
   }
   return matrix;
 }
 
 Status SaveMatrixFile(const Matrix& matrix, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
-  return SaveMatrix(matrix, &out);
+  std::ostringstream buf;
+  DTREC_RETURN_IF_ERROR(SaveMatrix(matrix, &buf));
+  return WriteFileAtomic(path, std::move(buf).str());
 }
 
 Result<Matrix> LoadMatrixFile(const std::string& path) {

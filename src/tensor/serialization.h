@@ -10,16 +10,25 @@
 
 namespace dtrec {
 
-/// Binary Matrix serialization: magic "DTRM", u64 rows, u64 cols, then
-/// rows·cols little-endian doubles. Host byte order is assumed (the
-/// format is a local checkpoint, not a wire format).
+/// Binary Matrix record, format version 2:
+///
+///   magic "DTRM" · u32 version (= 2) · u64 rows · u64 cols ·
+///   rows·cols little-endian doubles · u32 CRC-32
+///
+/// The trailing CRC covers every preceding byte of the record (magic
+/// included), so a torn or bit-flipped file is rejected at load with a
+/// clean Status instead of deserializing garbage. Host byte order is
+/// assumed (the format is a local checkpoint, not a wire format). Records
+/// are self-delimiting: multi-matrix files simply concatenate them.
 Status SaveMatrix(const Matrix& matrix, std::ostream* out);
 
-/// Reads one matrix written by SaveMatrix; fails on bad magic, truncated
-/// payload, or absurd dimensions.
+/// Reads one matrix written by SaveMatrix; fails with a non-OK Status on
+/// bad magic, unsupported version, absurd dimensions, truncation, or CRC
+/// mismatch. Never crashes on corrupt input.
 Result<Matrix> LoadMatrix(std::istream* in);
 
-/// Whole-file convenience wrappers.
+/// Whole-file convenience wrappers. SaveMatrixFile goes through
+/// WriteFileAtomic, so the file at `path` is replaced crash-atomically.
 Status SaveMatrixFile(const Matrix& matrix, const std::string& path);
 Result<Matrix> LoadMatrixFile(const std::string& path);
 

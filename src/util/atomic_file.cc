@@ -1,0 +1,93 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.h"
+
+namespace dtrec {
+namespace {
+
+Status SysError(const char* what, const std::string& path) {
+  return Status::Internal(std::string(what) + " failed for '" + path +
+                          "': " + std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so the rename is durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return SysError("open(dir)", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return SysError("fsync(dir)", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string payload) {
+  DTREC_FAILPOINT_MUTATE("atomic_file/payload", payload);
+  DTREC_FAILPOINT_STATUS("atomic_file/before_write");
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return SysError("open", tmp);
+
+  size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return SysError("write", tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return SysError("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return SysError("close", tmp);
+  }
+
+  // A kill here leaves `<path>.tmp` behind and `path` untouched — the
+  // stale temp is harmless and gets overwritten by the next save.
+  DTREC_FAILPOINT("atomic_file/after_write");
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return SysError("rename", tmp);
+  }
+  DTREC_RETURN_IF_ERROR(SyncParentDir(path));
+
+  DTREC_FAILPOINT("atomic_file/after_rename");
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return SysError("read", path);
+  *contents = std::move(buf).str();
+  return Status::OK();
+}
+
+}  // namespace dtrec

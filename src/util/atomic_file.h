@@ -1,0 +1,33 @@
+#ifndef DTREC_UTIL_ATOMIC_FILE_H_
+#define DTREC_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace dtrec {
+
+/// Durably replaces the file at `path` with `payload`, crash-atomically:
+/// the payload is written to `<path>.tmp`, flushed and fsync'd, then
+/// rename(2)'d over `path`, and the containing directory is fsync'd so the
+/// rename itself survives power loss. At every instant `path` either holds
+/// its previous content or the complete new payload — never a torn mix.
+///
+/// All writers of recoverable artifacts (matrix files, model checkpoints,
+/// dataset exports) must go through this function; the `raw-ofstream-write`
+/// lint rule flags direct std::ofstream writes to final paths.
+///
+/// Failpoint sites, in order ("atomic_file/…"):
+///   payload        (mutate)  corrupt bytes before they reach the disk
+///   before_write   (status)  fail before the temp file exists
+///   after_write    (abort)   kill after the temp is durable, before rename
+///   after_rename   (abort)   kill after the commit point
+Status WriteFileAtomic(const std::string& path, std::string payload);
+
+/// Slurps the whole file at `path` into `*contents`. NotFound when the file
+/// cannot be opened, Internal on a short read.
+Status ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace dtrec
+
+#endif  // DTREC_UTIL_ATOMIC_FILE_H_

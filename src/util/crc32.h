@@ -1,0 +1,26 @@
+#ifndef DTREC_UTIL_CRC32_H_
+#define DTREC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dtrec {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) — the checksum
+/// guarding every on-disk dtrec artifact (matrix files, train checkpoints).
+/// Detects all single-byte corruptions and any burst error up to 32 bits,
+/// which covers the torn-write and bit-rot cases the loaders must reject.
+
+/// Incremental update: feed `crc = 0` for the first chunk and the previous
+/// return value for subsequent chunks.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+/// One-shot convenience over a contiguous buffer.
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace dtrec
+
+#endif  // DTREC_UTIL_CRC32_H_

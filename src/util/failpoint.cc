@@ -1,0 +1,260 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dtrec {
+namespace failpoint {
+namespace {
+
+struct ArmedSite {
+  Spec spec;
+  int hits = 0;   // evaluations since Arm()
+  int fires = 0;  // times the action actually triggered
+};
+
+// Macro fast path: one relaxed load, no lock, no map, when nothing is armed.
+std::atomic<int> g_armed_count{0};
+
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  void Arm(std::string_view site, Spec spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = sites_.insert_or_assign(std::string(site),
+                                                  ArmedSite{std::move(spec)});
+    (void)it;
+    if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Disarm(std::string_view site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sites_.erase(std::string(site)) > 0) {
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    g_armed_count.fetch_sub(static_cast<int>(sites_.size()),
+                            std::memory_order_relaxed);
+    sites_.clear();
+  }
+
+  int HitCount(std::string_view site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(std::string(site));
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  std::vector<std::string> ArmedSites() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(sites_.size());
+    for (const auto& [name, armed] : sites_) names.push_back(name);
+    return names;
+  }
+
+  /// Records an evaluation of `site` and decides whether it fires now.
+  /// Returns the armed spec when it does.
+  std::optional<Spec> Evaluate(std::string_view site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(std::string(site));
+    if (it == sites_.end()) return std::nullopt;
+    ArmedSite& armed = it->second;
+    ++armed.hits;
+    if (armed.hits <= armed.spec.skip) return std::nullopt;
+    if (armed.spec.max_hits >= 0 && armed.fires >= armed.spec.max_hits) {
+      return std::nullopt;
+    }
+    ++armed.fires;
+    return armed.spec;
+  }
+
+ private:
+  Registry() {
+    // Operators arm failpoints for a whole process run via the environment;
+    // a malformed spec is loud but non-fatal (nothing gets armed).
+    if (const char* env = std::getenv("DTREC_FAILPOINTS");
+        env != nullptr && env[0] != '\0') {
+      Status st = ArmFromStringImpl(env);
+      if (!st.ok()) {
+        DTREC_LOG(WARNING) << "ignoring DTREC_FAILPOINTS: " << st.ToString();
+      }
+    }
+  }
+
+  friend Status dtrec::failpoint::ArmFromString(std::string_view specs);
+
+  Status ArmFromStringImpl(std::string_view specs);
+
+  std::mutex mu_;
+  std::map<std::string, ArmedSite> sites_;
+};
+
+/// Parses one "<site>=<action>[@skip][*max]" entry into (site, spec).
+Status ParseEntry(std::string_view entry, std::string* site, Spec* spec) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                   "' is not of the form site=action");
+  }
+  *site = std::string(entry.substr(0, eq));
+  std::string rest(entry.substr(eq + 1));
+
+  // Strip the optional trailing modifiers, innermost-last: *max then @skip.
+  auto take_int_suffix = [&](char sep, int* out) -> Status {
+    const size_t pos = rest.rfind(sep);
+    if (pos == std::string::npos) return Status::OK();
+    const std::string digits = rest.substr(pos + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("failpoint modifier '" + std::string(1, sep) +
+                                     digits + "' is not a number");
+    }
+    *out = std::stoi(digits);
+    rest.resize(pos);
+    return Status::OK();
+  };
+  int max_hits = -1;
+  int skip = 0;
+  DTREC_RETURN_IF_ERROR(take_int_suffix('*', &max_hits));
+  DTREC_RETURN_IF_ERROR(take_int_suffix('@', &skip));
+  spec->max_hits = max_hits;
+  spec->skip = skip;
+
+  const size_t colon = rest.find(':');
+  const std::string action = rest.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : rest.substr(colon + 1);
+  auto require_size_arg = [&](size_t* out) -> Status {
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("failpoint action '" + action +
+                                     "' needs a numeric argument, got '" +
+                                     arg + "'");
+    }
+    *out = static_cast<size_t>(std::stoull(arg));
+    return Status::OK();
+  };
+  if (action == "abort") {
+    spec->action = Action::kAbort;
+  } else if (action == "error") {
+    spec->action = Action::kError;
+    if (!arg.empty()) spec->message = arg;
+  } else if (action == "truncate") {
+    spec->action = Action::kTruncate;
+    DTREC_RETURN_IF_ERROR(require_size_arg(&spec->arg));
+  } else if (action == "flip") {
+    spec->action = Action::kFlip;
+    DTREC_RETURN_IF_ERROR(require_size_arg(&spec->arg));
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + action +
+                                   "' (expected abort|error|truncate|flip)");
+  }
+  return Status::OK();
+}
+
+// The macros' AnyArmed() fast path never touches the registry, so env-var
+// arming cannot stay lazy: force the registry (and its DTREC_FAILPOINTS
+// parse) into existence at static-init time, before any site can be hit.
+[[maybe_unused]] const bool g_env_arming_forced =
+    (Registry::Instance(), true);
+
+}  // namespace
+
+Status Registry::ArmFromStringImpl(std::string_view specs) {
+  // Parse everything before arming anything, so a malformed entry cannot
+  // leave the registry half-armed.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  for (const std::string& entry : Split(specs, ';')) {
+    const std::string_view trimmed = StripWhitespace(entry);
+    if (trimmed.empty()) continue;
+    std::string site;
+    Spec spec;
+    DTREC_RETURN_IF_ERROR(ParseEntry(trimmed, &site, &spec));
+    parsed.emplace_back(std::move(site), std::move(spec));
+  }
+  for (auto& [site, spec] : parsed) Arm(site, std::move(spec));
+  return Status::OK();
+}
+
+void Arm(std::string_view site, Spec spec) {
+  Registry::Instance().Arm(site, std::move(spec));
+}
+
+void Disarm(std::string_view site) { Registry::Instance().Disarm(site); }
+
+void DisarmAll() { Registry::Instance().DisarmAll(); }
+
+Status ArmFromString(std::string_view specs) {
+  return Registry::Instance().ArmFromStringImpl(specs);
+}
+
+int HitCount(std::string_view site) {
+  return Registry::Instance().HitCount(site);
+}
+
+std::vector<std::string> ArmedSites() {
+  return Registry::Instance().ArmedSites();
+}
+
+bool AnyArmed() { return g_armed_count.load(std::memory_order_relaxed) > 0; }
+
+namespace internal {
+
+void Hit(std::string_view site) {
+  std::optional<Spec> fired = Registry::Instance().Evaluate(site);
+  if (!fired) return;
+  if (fired->action == Action::kAbort) throw FailpointAbort(std::string(site));
+  // error/truncate/flip armed on a plain site: nothing this site can do.
+}
+
+Status HitStatus(std::string_view site) {
+  std::optional<Spec> fired = Registry::Instance().Evaluate(site);
+  if (!fired) return Status::OK();
+  switch (fired->action) {
+    case Action::kAbort:
+      throw FailpointAbort(std::string(site));
+    case Action::kError:
+      return Status::Internal(fired->message + " (failpoint '" +
+                              std::string(site) + "')");
+    case Action::kTruncate:
+    case Action::kFlip:
+      return Status::OK();  // payload actions need a *_MUTATE site
+  }
+  return Status::OK();
+}
+
+void HitMutate(std::string_view site, std::string& payload) {
+  std::optional<Spec> fired = Registry::Instance().Evaluate(site);
+  if (!fired) return;
+  switch (fired->action) {
+    case Action::kAbort:
+      throw FailpointAbort(std::string(site));
+    case Action::kError:
+      return;  // status actions need a *_STATUS site
+    case Action::kTruncate:
+      if (fired->arg < payload.size()) payload.resize(fired->arg);
+      return;
+    case Action::kFlip:
+      if (!payload.empty()) {
+        payload[fired->arg % payload.size()] ^= static_cast<char>(0xFF);
+      }
+      return;
+  }
+}
+
+}  // namespace internal
+}  // namespace failpoint
+}  // namespace dtrec

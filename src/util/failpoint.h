@@ -1,0 +1,158 @@
+#ifndef DTREC_UTIL_FAILPOINT_H_
+#define DTREC_UTIL_FAILPOINT_H_
+
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+// Failpoint fault-injection registry.
+//
+// Code annotates crash-sensitive boundaries with named sites:
+//
+//   DTREC_FAILPOINT("checkpoint/after_header");          // may simulate a kill
+//   DTREC_FAILPOINT_STATUS("atomic_file/before_write");  // may inject a Status
+//   DTREC_FAILPOINT_MUTATE("atomic_file/payload", buf);  // may truncate/flip
+//
+// Tests arm sites programmatically via failpoint::Arm(); operators arm them
+// through the DTREC_FAILPOINTS environment variable, e.g.
+//
+//   DTREC_FAILPOINTS="train/epoch_end=abort@2;atomic_file/payload=flip:7"
+//
+// Spec grammar (one entry per site, entries separated by ';'):
+//
+//   <site>=<action>[@<skip>][*<max_hits>]
+//   action := abort                 simulate a kill: throw FailpointAbort
+//           | error[:<message>]     injected Status(kInternal, message)
+//           | truncate:<nbytes>     keep only the first n bytes of a payload
+//           | flip:<offset>         XOR the payload byte at offset with 0xFF
+//   @<skip>      let the first <skip> evaluations pass before firing
+//   *<max_hits>  fire at most <max_hits> times, then go dormant
+//
+// When the build disables failpoints (-DDTREC_FAILPOINTS=OFF) every macro
+// compiles to an empty statement — release bench binaries carry no trace of
+// the subsystem. When enabled but nothing is armed, the cost per site is a
+// single relaxed atomic load.
+
+#ifndef DTREC_FAILPOINTS_ENABLED
+#define DTREC_FAILPOINTS_ENABLED 0
+#endif
+
+namespace dtrec {
+namespace failpoint {
+
+/// Thrown by an armed `abort` failpoint: simulates the process dying at the
+/// annotated site. Only fault-tolerance harnesses (tests, the sweep retry
+/// loop, the CLI) catch it; everything in between unwinds as if killed.
+class FailpointAbort : public std::exception {
+ public:
+  explicit FailpointAbort(std::string site)
+      : site_(std::move(site)),
+        what_("simulated crash at failpoint '" + site_ + "'") {}
+  const char* what() const noexcept override { return what_.c_str(); }
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+  std::string what_;
+};
+
+/// What an armed site does when it fires.
+enum class Action {
+  kAbort,     // throw FailpointAbort (simulated kill)
+  kError,     // inject Status(kInternal, message) at *_STATUS sites
+  kTruncate,  // shrink a payload to `arg` bytes at *_MUTATE sites
+  kFlip,      // XOR payload byte at offset `arg` at *_MUTATE sites
+};
+
+struct Spec {
+  Action action = Action::kAbort;
+  std::string message = "injected failure";  // kError status message
+  size_t arg = 0;       // truncate length / flip offset
+  int skip = 0;         // evaluations to let pass before firing
+  int max_hits = -1;    // fires allowed after skip; -1 = unlimited
+};
+
+/// Arm `site` (replacing any previous arming and resetting its counters).
+void Arm(std::string_view site, Spec spec);
+
+/// Disarm one site / all sites. DisarmAll() is the test-teardown hammer.
+void Disarm(std::string_view site);
+void DisarmAll();
+
+/// Parse the DTREC_FAILPOINTS grammar above and arm every entry.
+/// On a malformed entry nothing is armed and an error Status names it.
+Status ArmFromString(std::string_view specs);
+
+/// Total evaluations of an armed site since Arm() (fired or not); 0 when the
+/// site is not armed. Lets tests assert that a site was actually reached.
+int HitCount(std::string_view site);
+
+/// Sites currently armed, sorted — for diagnostics.
+std::vector<std::string> ArmedSites();
+
+/// True when at least one site is armed. This is the macro fast path; it is
+/// a single relaxed atomic load, safe to evaluate on every call.
+bool AnyArmed();
+
+// Slow-path entry points behind the macros. They self-initialise the
+// registry from the DTREC_FAILPOINTS env var on first use.
+namespace internal {
+void Hit(std::string_view site);                      // abort only
+Status HitStatus(std::string_view site);              // abort | error
+void HitMutate(std::string_view site, std::string& payload);  // all four
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace dtrec
+
+#if DTREC_FAILPOINTS_ENABLED
+
+/// Simulated-kill site: throws FailpointAbort when armed with `abort`.
+#define DTREC_FAILPOINT(site)                       \
+  do {                                              \
+    if (::dtrec::failpoint::AnyArmed()) {           \
+      ::dtrec::failpoint::internal::Hit(site);      \
+    }                                               \
+  } while (0)
+
+/// Status-injection site: `return`s the injected Status when armed with
+/// `error`; throws on `abort`. Use only in functions returning Status.
+#define DTREC_FAILPOINT_STATUS(site)                                     \
+  do {                                                                   \
+    if (::dtrec::failpoint::AnyArmed()) {                                \
+      if (::dtrec::Status fp_st =                                        \
+              ::dtrec::failpoint::internal::HitStatus(site);             \
+          !fp_st.ok()) {                                                 \
+        return fp_st;                                                    \
+      }                                                                  \
+    }                                                                    \
+  } while (0)
+
+/// Payload-corruption site: truncates or bit-flips `payload` (a
+/// std::string) when armed with `truncate`/`flip`; throws on `abort`.
+#define DTREC_FAILPOINT_MUTATE(site, payload)                    \
+  do {                                                           \
+    if (::dtrec::failpoint::AnyArmed()) {                        \
+      ::dtrec::failpoint::internal::HitMutate(site, payload);    \
+    }                                                            \
+  } while (0)
+
+#else  // !DTREC_FAILPOINTS_ENABLED
+
+#define DTREC_FAILPOINT(site) \
+  do {                        \
+  } while (0)
+#define DTREC_FAILPOINT_STATUS(site) \
+  do {                               \
+  } while (0)
+#define DTREC_FAILPOINT_MUTATE(site, payload) \
+  do {                                        \
+  } while (0)
+
+#endif  // DTREC_FAILPOINTS_ENABLED
+
+#endif  // DTREC_UTIL_FAILPOINT_H_

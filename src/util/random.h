@@ -67,6 +67,27 @@ class Rng {
   /// sub-streams to parallel or modular components.
   Rng Fork();
 
+  /// Complete generator state — the xoshiro words plus the Box–Muller
+  /// cache. Capturing and restoring it resumes the stream bit-identically,
+  /// which is what makes killed-and-resumed training replay the exact
+  /// sample sequence of an uninterrupted run (see core/train_checkpoint.h).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, has_cached_normal_,
+                 cached_normal_};
+  }
+
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    has_cached_normal_ = state.has_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <utility>
 
+#include "util/logging.h"
+
 namespace dtrec {
 
 /// Canonical error space for fallible dtrec operations. Mirrors the small
@@ -91,10 +93,21 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  /// Requires ok(). Checked in debug builds.
-  const T& value() const& { return value_; }
-  T& value() & { return value_; }
-  T&& value() && { return std::move(value_); }
+  /// Requires ok(). Checked in debug builds: reading the value of an
+  /// error Result dies loudly instead of handing back a default-
+  /// constructed T that would corrupt whatever consumes it.
+  const T& value() const& {
+    DTREC_DCHECK(ok()) << "value() called on error Result: " << status_;
+    return value_;
+  }
+  T& value() & {
+    DTREC_DCHECK(ok()) << "value() called on error Result: " << status_;
+    return value_;
+  }
+  T&& value() && {
+    DTREC_DCHECK(ok()) << "value() called on error Result: " << status_;
+    return std::move(value_);
+  }
 
  private:
   T value_{};

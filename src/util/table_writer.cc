@@ -73,7 +73,8 @@ void TableWriter::RenderCsv(std::ostream& os) const {
 }
 
 Status TableWriter::WriteCsvFile(const std::string& path) const {
-  std::ofstream out(path);
+  // Report tables are re-renderable scratch output, not durable state.
+  std::ofstream out(path);  // dtrec-lint: allow(raw-ofstream-write)
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open file for writing: " + path);
   }

@@ -4,7 +4,8 @@
 
 namespace dtrec {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -14,18 +15,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!stop_) {
+      if (max_queue_ > 0 && queue_.size() >= max_queue_) return false;
       queue_.push_back(std::move(task));
       work_cv_.notify_one();
-      return;
+      return true;
     }
   }
   // Pool already shut down: degrade to inline execution rather than
   // dropping the task.
   task();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {

@@ -22,10 +22,16 @@ namespace dtrec {
 /// destructor) runs to completion before the workers join. Tasks submitted
 /// after shutdown execute inline on the calling thread, so no work is ever
 /// silently dropped.
+///
+/// A non-zero `max_queue` bounds the number of *waiting* tasks: Submit()
+/// refuses (returns false, task untouched) once the backlog reaches the
+/// cap, giving callers a backpressure signal instead of an unbounded
+/// queue whose tail latency grows without limit under overload.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Spawns `num_threads` workers (at least 1). `max_queue` = 0 means an
+  /// unbounded task queue (the historical behavior).
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
 
   /// Drains the queue and joins the workers.
   ~ThreadPool();
@@ -33,9 +39,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution; wakes one idle worker. After
-  /// Shutdown(), runs `task` inline instead.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for execution; wakes one idle worker. Returns false
+  /// (dropping nothing — `task` simply never ran) when the bounded queue
+  /// is full; the caller decides how to shed. After Shutdown(), runs
+  /// `task` inline instead and returns true.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no worker is mid-task. The pool
   /// stays usable afterwards (unlike Shutdown).
@@ -58,7 +66,8 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals WaitIdle: drained + idle
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
-  size_t active_ = 0;  // workers currently running a task
+  size_t max_queue_ = 0;  // 0 = unbounded
+  size_t active_ = 0;     // workers currently running a task
   bool stop_ = false;
 };
 

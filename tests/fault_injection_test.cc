@@ -1,0 +1,384 @@
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/checkpoint.h"
+#include "core/train_checkpoint.h"
+#include "experiments/runner.h"
+#include "models/mf_model.h"
+#include "synth/mnar_generator.h"
+#include "tensor/matrix.h"
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace dtrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void RemoveTree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string child_name = entry->d_name;
+    if (child_name == "." || child_name == "..") continue;
+    const std::string child = path + "/" + child_name;
+    if (::unlink(child.c_str()) != 0) RemoveTree(child);
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+}
+
+std::string MakeTempDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  // Checkpoints left by a previous run of this binary must not leak in:
+  // resume=true would pick up a *completed* checkpoint and skip training.
+  RemoveTree(dir);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Every test disarms everything on exit so a failing EXPECT cannot leak
+/// an armed site into the next test.
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+RatingDataset SmallDataset(uint64_t seed) {
+  MnarGeneratorConfig config;
+  config.num_users = 40;
+  config.num_items = 40;
+  config.base_logit = -1.4;
+  config.test_per_user = 8;
+  config.seed = seed;
+  return MnarGenerator(config).Generate().dataset;
+}
+
+TrainConfig SmallConfig() {
+  TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 256;
+  config.max_steps_per_epoch = 6;
+  config.embedding_dim = 6;
+  config.disentangle_dim = 3;
+  config.seed = 977;
+  return config;
+}
+
+// ---------------------------------------------------------------- specs
+
+TEST_F(FaultInjectionTest, SpecStringGrammar) {
+  ASSERT_TRUE(failpoint::ArmFromString(
+                  "a/site=abort@2*1; b/site=error:disk gone; "
+                  "c/site=truncate:16; d/site=flip:7")
+                  .ok());
+  const std::vector<std::string> armed = failpoint::ArmedSites();
+  EXPECT_EQ(armed.size(), 4u);
+  EXPECT_TRUE(failpoint::AnyArmed());
+
+  // skip=2, max_hits=1: evaluations 1-2 pass, 3 fires, 4+ pass again.
+  EXPECT_NO_THROW(failpoint::internal::Hit("a/site"));
+  EXPECT_NO_THROW(failpoint::internal::Hit("a/site"));
+  EXPECT_THROW(failpoint::internal::Hit("a/site"), failpoint::FailpointAbort);
+  EXPECT_NO_THROW(failpoint::internal::Hit("a/site"));
+  EXPECT_EQ(failpoint::HitCount("a/site"), 4);
+
+  const Status injected = failpoint::internal::HitStatus("b/site");
+  EXPECT_EQ(injected.code(), StatusCode::kInternal);
+  EXPECT_NE(injected.ToString().find("disk gone"), std::string::npos);
+
+  std::string payload(64, 'x');
+  failpoint::internal::HitMutate("c/site", payload);
+  EXPECT_EQ(payload.size(), 16u);
+  payload.assign(64, 'x');
+  failpoint::internal::HitMutate("d/site", payload);
+  EXPECT_NE(payload[7], 'x');
+
+  failpoint::DisarmAll();
+  EXPECT_FALSE(failpoint::AnyArmed());
+  EXPECT_EQ(failpoint::HitCount("a/site"), 0);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecArmsNothing) {
+  // Parse errors are atomic: the valid first entry must not get armed when
+  // a later entry is malformed.
+  EXPECT_FALSE(failpoint::ArmFromString("ok/site=abort; bad=bogus").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("=abort").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("x/site=truncate:abc").ok());
+  EXPECT_FALSE(failpoint::ArmFromString("x/site=abort@x").ok());
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, UnarmedSitesAreFree) {
+  EXPECT_FALSE(failpoint::AnyArmed());
+  EXPECT_NO_THROW(failpoint::internal::Hit("never/armed"));
+  EXPECT_TRUE(failpoint::internal::HitStatus("never/armed").ok());
+}
+
+// --------------------------------------------- atomic write: old or new
+
+MfModel TestModel(uint64_t seed) {
+  MfModelConfig config;
+  config.num_users = 7;
+  config.num_items = 5;
+  config.dim = 4;
+  config.seed = seed;
+  return MfModel(config);
+}
+
+/// Loads `path` and asserts it equals either `old_model` or `new_model`
+/// bit for bit — the core "never a torn file" invariant.
+void ExpectOldOrNew(const std::string& path, const MfModel& old_model,
+                    const MfModel& new_model) {
+  MfModel loaded = TestModel(3);
+  ASSERT_TRUE(LoadMfModel(path, &loaded).ok());
+  const bool is_old = loaded.p() == old_model.p() && loaded.q() == old_model.q();
+  const bool is_new = loaded.p() == new_model.p() && loaded.q() == new_model.q();
+  EXPECT_TRUE(is_old || is_new) << "torn checkpoint at " << path;
+}
+
+TEST_F(FaultInjectionTest, KillDuringSaveLeavesOldOrNewNeverTorn) {
+  const MfModel old_model = TestModel(1);
+  const MfModel new_model = TestModel(2);
+
+  // Abort sites along the save path, in write order. Before the rename the
+  // old file must survive; after it the new one must be complete.
+  const struct {
+    const char* site;
+    bool expect_new;
+  } kSites[] = {
+      {"checkpoint/before_commit", false},
+      {"atomic_file/after_write", false},
+      {"atomic_file/after_rename", true},
+  };
+  for (const auto& [site, expect_new] : kSites) {
+    SCOPED_TRACE(site);
+    const std::string path = TempPath(std::string("oldnew_") + site[0]);
+    ASSERT_TRUE(SaveMfModel(old_model, path).ok());
+
+    failpoint::Arm(site, failpoint::Spec{});
+    EXPECT_THROW((void)SaveMfModel(new_model, path),
+                 failpoint::FailpointAbort);
+    failpoint::DisarmAll();
+
+    ExpectOldOrNew(path, old_model, new_model);
+    MfModel loaded = TestModel(3);
+    ASSERT_TRUE(LoadMfModel(path, &loaded).ok());
+    const bool got_new = loaded.p() == new_model.p();
+    EXPECT_EQ(got_new, expect_new);
+  }
+}
+
+TEST_F(FaultInjectionTest, InjectedIoErrorSurfacesAndKeepsOldFile) {
+  const MfModel old_model = TestModel(1);
+  const MfModel new_model = TestModel(2);
+  const std::string path = TempPath("io_error.ckpt");
+  ASSERT_TRUE(SaveMfModel(old_model, path).ok());
+
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kError;
+  spec.message = "simulated ENOSPC";
+  failpoint::Arm("atomic_file/before_write", spec);
+  const Status st = SaveMfModel(new_model, path);
+  failpoint::DisarmAll();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("simulated ENOSPC"), std::string::npos);
+
+  MfModel loaded = TestModel(3);
+  ASSERT_TRUE(LoadMfModel(path, &loaded).ok());
+  EXPECT_TRUE(loaded.p() == old_model.p());
+}
+
+TEST_F(FaultInjectionTest, PayloadCorruptionIsCaughtByChecksumAtLoad) {
+  const MfModel model = TestModel(1);
+
+  failpoint::Spec flip;
+  flip.action = failpoint::Action::kFlip;
+  flip.arg = 40;  // lands inside the double payload
+  failpoint::Arm("atomic_file/payload", flip);
+  const std::string flip_path = TempPath("flip.ckpt");
+  ASSERT_TRUE(SaveMfModel(model, flip_path).ok());
+  failpoint::DisarmAll();
+  MfModel loaded = TestModel(3);
+  const Status flip_st = LoadMfModel(flip_path, &loaded);
+  EXPECT_FALSE(flip_st.ok());
+  EXPECT_NE(flip_st.ToString().find("checksum"), std::string::npos);
+
+  failpoint::Spec truncate;
+  truncate.action = failpoint::Action::kTruncate;
+  truncate.arg = 25;
+  failpoint::Arm("atomic_file/payload", truncate);
+  const std::string trunc_path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveMfModel(model, trunc_path).ok());
+  failpoint::DisarmAll();
+  EXPECT_FALSE(LoadMfModel(trunc_path, &loaded).ok());
+}
+
+// ------------------------------------------------- crash-equivalence
+
+/// Trains `method` uninterrupted, then again with a simulated SIGKILL at
+/// `kill_site` (skipping `kill_skip` evaluations), resumes in a *fresh*
+/// trainer instance (as a restarted process would), and requires the
+/// resumed parameters to be bit-identical to the uninterrupted run.
+void RunCrashEquivalence(const std::string& method,
+                         const std::string& kill_site, int kill_skip,
+                         const std::string& dir_name) {
+  const RatingDataset dataset = SmallDataset(11);
+  const TrainConfig config = SmallConfig();
+
+  auto reference = std::move(MakeTrainer(method, config).value());
+  ASSERT_TRUE(reference->Fit(dataset).ok());
+  const Matrix want =
+      reference->PredictFullMatrix(dataset.num_users(), dataset.num_items());
+
+  const std::string dir = MakeTempDir(dir_name);
+  FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 1;
+
+  auto victim = std::move(MakeTrainer(method, config).value());
+  failpoint::Spec kill;
+  kill.skip = kill_skip;
+  failpoint::Arm(kill_site, kill);
+  EXPECT_THROW((void)victim->Fit(dataset, options),
+               failpoint::FailpointAbort);
+  failpoint::DisarmAll();
+
+  // The interrupted run must have left a loadable (never torn) checkpoint.
+  auto survivor = std::move(MakeTrainer(method, config).value());
+  FitOptions resume = options;
+  resume.resume = true;
+  ASSERT_TRUE(survivor->Fit(dataset, resume).ok());
+
+  const Matrix got =
+      survivor->PredictFullMatrix(dataset.num_users(), dataset.num_items());
+  EXPECT_TRUE(got == want)
+      << method << " resumed after a kill at " << kill_site
+      << " did not reproduce the uninterrupted parameters";
+}
+
+TEST_F(FaultInjectionTest, DtIpsResumeIsBitIdentical) {
+  RunCrashEquivalence("DT-IPS", "train/epoch_begin", 3, "ce_dtips");
+}
+
+TEST_F(FaultInjectionTest, DtDrResumeIsBitIdentical) {
+  // DT-DR exercises the multi-group checkpoint (imputation model + its own
+  // optimizer slots travel in a second CheckpointGroup).
+  RunCrashEquivalence("DT-DR", "train/epoch_begin", 4, "ce_dtdr");
+}
+
+TEST_F(FaultInjectionTest, MrResumeIsBitIdentical) {
+  RunCrashEquivalence("MR", "train/epoch_begin", 2, "ce_mr");
+}
+
+TEST_F(FaultInjectionTest, KillInsideCheckpointSaveStillResumes) {
+  // Dying *while writing* the epoch-3 checkpoint leaves epoch-2's file
+  // intact (atomic write), so resume restarts from epoch 2 and must still
+  // converge to the identical parameters.
+  RunCrashEquivalence("DT-IPS", "checkpoint/after_header", 2, "ce_save");
+}
+
+TEST_F(FaultInjectionTest, ResumeAfterCompletionIsANoOp) {
+  const RatingDataset dataset = SmallDataset(5);
+  const std::string dir = MakeTempDir("ce_done");
+  FitOptions options;
+  options.checkpoint_dir = dir;
+
+  auto first = std::move(MakeTrainer("DT-IPS", SmallConfig()).value());
+  ASSERT_TRUE(first->Fit(dataset, options).ok());
+  const Matrix want =
+      first->PredictFullMatrix(dataset.num_users(), dataset.num_items());
+
+  // The finished checkpoint records next_epoch == epochs: the resumed run
+  // enters the loop with nothing left to do and reproduces the parameters.
+  auto second = std::move(MakeTrainer("DT-IPS", SmallConfig()).value());
+  FitOptions resume = options;
+  resume.resume = true;
+  ASSERT_TRUE(second->Fit(dataset, resume).ok());
+  EXPECT_TRUE(second->PredictFullMatrix(dataset.num_users(),
+                                        dataset.num_items()) == want);
+}
+
+TEST_F(FaultInjectionTest, ResumeRejectsForeignAndCorruptCheckpoints) {
+  const RatingDataset dataset = SmallDataset(5);
+  const std::string dir = MakeTempDir("ce_reject");
+  FitOptions options;
+  options.checkpoint_dir = dir;
+
+  auto mf = std::move(MakeTrainer("MF", SmallConfig()).value());
+  ASSERT_TRUE(mf->Fit(dataset, options).ok());
+
+  // Another method's checkpoint must be refused, not silently loaded.
+  auto ips = std::move(MakeTrainer("IPS", SmallConfig()).value());
+  FitOptions resume = options;
+  resume.resume = true;
+  const Status foreign = ips->Fit(dataset, resume);
+  EXPECT_EQ(foreign.code(), StatusCode::kFailedPrecondition);
+
+  // A corrupt checkpoint must surface as an error, not train from scratch.
+  const std::string ckpt = dir + "/train_state.ckpt";
+  std::string contents;
+  ASSERT_TRUE(ReadFile(ckpt, &contents).ok());
+  contents[contents.size() / 2] ^= static_cast<char>(0xFF);
+  ASSERT_TRUE(WriteFileAtomic(ckpt, contents).ok());
+  auto mf2 = std::move(MakeTrainer("MF", SmallConfig()).value());
+  EXPECT_FALSE(mf2->Fit(dataset, resume).ok());
+}
+
+TEST_F(FaultInjectionTest, SweepRetriesThroughSimulatedCrash) {
+  DatasetProfile profile;
+  profile.train = SmallConfig();
+  profile.ranking_k = 5;
+  auto factory = [](uint64_t seed) { return SmallDataset(seed); };
+
+  ComparisonOptions plain;
+  plain.quiet = true;
+  const std::vector<MethodResult> want =
+      RunComparison({"DT-IPS"}, factory, profile, {1, 2}, plain);
+  ASSERT_EQ(want.size(), 1u);
+
+  ComparisonOptions crashy = plain;
+  crashy.checkpoint_root = MakeTempDir("sweep_root");
+  crashy.max_retries = 2;
+  // One simulated SIGKILL somewhere in the middle of the two-seed sweep;
+  // the runner retries with resume and the results must be unchanged.
+  failpoint::Spec kill;
+  kill.skip = 7;
+  kill.max_hits = 1;
+  failpoint::Arm("train/epoch_begin", kill);
+  const std::vector<MethodResult> got =
+      RunComparison({"DT-IPS"}, factory, profile, {1, 2}, crashy);
+  EXPECT_GT(failpoint::HitCount("train/epoch_begin"), 7);  // it did fire
+  failpoint::DisarmAll();
+
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].auc_samples.size(), want[0].auc_samples.size());
+  for (size_t i = 0; i < want[0].auc_samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[0].auc_samples[i], want[0].auc_samples[i]);
+  }
+}
+
+TEST_F(FaultInjectionTest, RngStateRoundTrip) {
+  Rng rng(123);
+  (void)rng.Normal();  // populate the cached-normal half of the state
+  const Rng::State state = rng.state();
+  std::vector<double> want;
+  for (int i = 0; i < 8; ++i) want.push_back(rng.Normal());
+
+  Rng other(999);
+  other.set_state(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(other.Normal(), want[i]);
+}
+
+}  // namespace
+}  // namespace dtrec

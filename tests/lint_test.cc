@@ -111,6 +111,35 @@ TEST(LintRulesTest, IncludeLinesDoNotFeedIdentifierRules) {
   EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
 }
 
+TEST(LintRulesTest, RawOfstreamFlaggedOutsideAtomicFile) {
+  const char* kWriter = R"FIX(
+void Dump(const std::string& path) {
+  std::ofstream out(path);
+  out << "hello";
+}
+)FIX";
+  // Flagged in ordinary non-test code...
+  EXPECT_EQ(CountRule(LintContent("src/foo/dump.cc", kWriter),
+                      "raw-ofstream-write"),
+            1u);
+  // ...exempt inside the crash-atomic writer itself and in tests...
+  EXPECT_EQ(CountRule(LintContent("src/util/atomic_file.cc", kWriter),
+                      "raw-ofstream-write"),
+            0u);
+  EXPECT_EQ(CountRule(LintContent("tests/dump_test.cc", kWriter),
+                      "raw-ofstream-write"),
+            0u);
+  // ...and silenced by the usual allow-comment.
+  const char* kAllowed = R"FIX(
+void Dump(const std::string& path) {
+  std::ofstream out(path);  // dtrec-lint: allow(raw-ofstream-write)
+}
+)FIX";
+  EXPECT_EQ(CountRule(LintContent("src/foo/dump.cc", kAllowed),
+                      "raw-ofstream-write"),
+            0u);
+}
+
 // ------------------------------------------------------------- suppression
 
 TEST(LintSuppressionTest, TrailingAllowSilencesThatLine) {

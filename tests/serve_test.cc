@@ -66,7 +66,7 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 200; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   }
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 200);
@@ -79,10 +79,10 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 100; ++i) {
-      pool.Submit([&count] {
+      ASSERT_TRUE(pool.Submit([&count] {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
         count.fetch_add(1);
-      });
+      }));
     }
     pool.Shutdown();  // must run everything already queued
   }
@@ -93,19 +93,45 @@ TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
   ThreadPool pool(2);
   pool.Shutdown();
   bool ran = false;
-  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(pool.Submit([&ran] { ran = true; }));
   EXPECT_TRUE(ran);
 }
 
 TEST(ThreadPoolTest, WaitIdleThenReuse) {
   ThreadPool pool(3);
   std::atomic<int> count{0};
-  pool.Submit([&count] { count.fetch_add(1); });
+  ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 1);
-  pool.Submit([&count] { count.fetch_add(1); });
+  ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, BoundedQueueRefusesWhenFull) {
+  // One worker pinned on a gated task, queue capacity 1: the first extra
+  // submit queues, the second must be refused — deterministically.
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> picked_up;
+  ASSERT_TRUE(pool.Submit([opened, &picked_up] {
+    picked_up.set_value();
+    opened.wait();
+  }));
+  picked_up.get_future().wait();  // worker is busy, queue is empty
+
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));   // fills the queue
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));  // refused
+  EXPECT_EQ(pool.pending(), 1u);
+
+  gate.set_value();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);  // the refused task never ran
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));  // usable again
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
 }
 
 // ----------------------------------------------------------- TopKScorer
@@ -341,6 +367,48 @@ TEST(RecommendServerTest, ZeroDeadlineDegradesDeterministically) {
   EXPECT_EQ(stats.degraded, 20u);
   EXPECT_DOUBLE_EQ(stats.degraded_rate(), 1.0);
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(RecommendServerTest, FullQueueShedsToPopularitySlate) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(20, 2000, 16, 17));
+  auto model = registry.Acquire();
+
+  ServerConfig config = TestConfig(1);
+  config.max_queue = 1;
+  config.cache.capacity = 0;  // every pooled request runs a full pass
+  RecommendServer server(&registry, config);
+
+  // One worker, backlog cap 1: a burst of submissions far outpaces the
+  // 2000-item scoring passes, so most of the burst must shed. Shed
+  // responses come back immediately with the popularity slate.
+  std::vector<std::future<Recommendation>> futures;
+  for (size_t r = 0; r < 64; ++r) {
+    futures.push_back(server.Submit({.user = r % 20, .k = 5}));
+  }
+  size_t shed_count = 0;
+  for (auto& future : futures) {
+    const Recommendation rec = future.get();
+    ASSERT_EQ(rec.items.size(), 5u);
+    if (rec.shed) {
+      ++shed_count;
+      EXPECT_TRUE(rec.degraded);
+      const auto& ranking = model->popularity_ranking();
+      for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(rec.items[i].item, ranking[i]);
+      }
+    }
+  }
+  EXPECT_GT(shed_count, 0u);
+
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_EQ(stats.shed, shed_count);
+  EXPECT_GE(stats.degraded, stats.shed);  // shed ⊆ degraded
+  EXPECT_NE(stats.Summary().find("shed="), std::string::npos);
+
+  server.ResetStats();
+  EXPECT_EQ(server.Snapshot().shed, 0u);
 }
 
 TEST(RecommendServerTest, PerRequestDeadlineOverridesDefault) {

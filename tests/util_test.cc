@@ -69,6 +69,18 @@ TEST(ResultTest, HoldsError) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+#ifndef NDEBUG
+TEST(ResultDeathTest, ValueOnErrorDies) {
+  // All three value() overloads guard against reading an error Result.
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH((void)r.value(), "value\\(\\) called on error Result");
+  const Result<int>& cr = r;
+  EXPECT_DEATH((void)cr.value(), "value\\(\\) called on error Result");
+  EXPECT_DEATH((void)std::move(r).value(),
+               "value\\(\\) called on error Result");
+}
+#endif
+
 // ---------------------------------------------------------------- Strings
 
 TEST(StringUtilTest, StrFormat) {

@@ -4,13 +4,25 @@
 //
 //   dtrec_cli generate <coat|yahoo|kuairec|ml100k> <prefix> [key=value...]
 //   dtrec_cli diagnose <prefix>
-//   dtrec_cli train <method> <prefix> [key=value...]
+//   dtrec_cli train <method> <prefix> [--resume <dir>]
+//                   [--checkpoint-every <n>] [key=value...]
 //   dtrec_cli compare <prefix> <method1,method2,...> [key=value...]
 //   dtrec_cli methods
 //
 // Recognized key=value pairs: seed, scale, epochs, dim, batch_size, lr,
 // k, seeds (compare only).
+//
+// `--resume <dir>` makes training crash-safe: a checkpoint is committed
+// atomically into <dir> every `--checkpoint-every` epochs (default 1),
+// and an existing checkpoint there is picked up and continued, so the
+// same command line recovers from a kill. A run interrupted by an armed
+// failpoint (DTREC_FAILPOINTS env) exits with code 3 — distinct from
+// usage errors (2) and ordinary failures (1) — so crash-recovery
+// harnesses can tell "re-run me" from "give up".
 
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -27,12 +39,57 @@
 #include "synth/kuairec_like.h"
 #include "synth/movielens_like.h"
 #include "synth/yahoo_like.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace dtrec {
 namespace {
 
 using ArgMap = std::map<std::string, std::string>;
+
+/// Exit code for a training run killed mid-flight by an armed failpoint.
+/// Restarting the identical command resumes from the last checkpoint.
+constexpr int kExitInterrupted = 3;
+
+/// Pulls `--resume <dir>` / `--resume=<dir>` and `--checkpoint-every <n>`
+/// out of argv (consuming their values) before key=value parsing; the
+/// flags return empty/default when absent.
+struct TrainFlags {
+  std::string resume_dir;
+  size_t checkpoint_every = 1;
+};
+
+TrainFlags ExtractTrainFlags(int* argc, char** argv, int start) {
+  TrainFlags flags;
+  int out = start;
+  for (int i = start; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_value = [&](const std::string& name,
+                          std::string* value) -> bool {
+      if (arg == name && i + 1 < *argc) {
+        *value = argv[++i];
+        return true;
+      }
+      if (arg.rfind(name + "=", 0) == 0) {
+        *value = arg.substr(name.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take_value("--resume", &value)) {
+      flags.resume_dir = value;
+    } else if (take_value("--checkpoint-every", &value)) {
+      flags.checkpoint_every =
+          std::max<size_t>(1, static_cast<size_t>(
+                                  std::strtoull(value.c_str(), nullptr, 10)));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return flags;
+}
 
 ArgMap ParseKeyValues(int argc, char** argv, int start) {
   ArgMap args;
@@ -62,7 +119,8 @@ int Usage() {
       "usage:\n"
       "  dtrec_cli generate <coat|yahoo|kuairec|ml100k> <prefix> [k=v...]\n"
       "  dtrec_cli diagnose <prefix>\n"
-      "  dtrec_cli train <method> <prefix> [k=v...]\n"
+      "  dtrec_cli train <method> <prefix> [--resume <dir>]\n"
+      "            [--checkpoint-every <n>] [k=v...]\n"
       "  dtrec_cli compare <prefix> <m1,m2,...> [k=v...]\n"
       "  dtrec_cli methods\n");
   return 2;
@@ -128,6 +186,7 @@ int RunDiagnose(int argc, char** argv) {
 }
 
 int RunTrain(int argc, char** argv) {
+  const TrainFlags flags = ExtractTrainFlags(&argc, argv, 2);
   if (argc < 4) return Usage();
   const std::string method = argv[2];
   auto dataset = LoadDataset(argv[3]);
@@ -139,7 +198,33 @@ int RunTrain(int argc, char** argv) {
       MakeTrainer(method, TuneForMethod(method, ConfigFromArgs(args)));
   if (!trainer_or.ok()) return Fail(trainer_or.status());
   auto trainer = std::move(trainer_or).value();
-  const Status st = trainer->Fit(dataset.value());
+
+  FitOptions options;
+  options.checkpoint_dir = flags.resume_dir;
+  options.checkpoint_every = flags.checkpoint_every;
+  options.resume = !flags.resume_dir.empty();
+  if (!flags.resume_dir.empty()) {
+    // Best-effort two-level mkdir -p; an unwritable dir still surfaces
+    // as a Status from the first checkpoint save.
+    const size_t slash = flags.resume_dir.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+      ::mkdir(flags.resume_dir.substr(0, slash).c_str(), 0755);
+    }
+    ::mkdir(flags.resume_dir.c_str(), 0755);
+  }
+  Status st;
+  try {
+    st = flags.resume_dir.empty() ? trainer->Fit(dataset.value())
+                                  : trainer->Fit(dataset.value(), options);
+  } catch (const failpoint::FailpointAbort& abort) {
+    std::fprintf(stderr,
+                 "interrupted: %s\nre-run the same command to resume from "
+                 "%s\n",
+                 abort.what(),
+                 flags.resume_dir.empty() ? "scratch (no --resume dir)"
+                                          : flags.resume_dir.c_str());
+    return kExitInterrupted;
+  }
   if (!st.ok()) return Fail(st);
   const RankingMetrics metrics =
       EvaluateRanking(*trainer, dataset.value(), k);

@@ -134,7 +134,9 @@ int main(int argc, char** argv) {
             << files.size() << " file(s) scanned\n";
 
   if (!report_path.empty()) {
-    std::ofstream out(report_path, std::ios::binary);
+    // The findings report is derived output; losing it to a crash only
+    // means re-running the linter.
+    std::ofstream out(report_path, std::ios::binary);  // dtrec-lint: allow(raw-ofstream-write)
     if (!out) {
       std::cerr << "dtrec_lint: cannot write report '" << report_path << "'\n";
       return 2;

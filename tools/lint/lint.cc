@@ -399,6 +399,33 @@ void CheckIncludeHygiene(const std::string& rel_path,
   }
 }
 
+void CheckRawOfstream(const std::string& rel_path, const std::string& code,
+                      const std::vector<size_t>& starts,
+                      std::vector<Finding>* findings) {
+  // Durable files must be written through WriteFileAtomic (temp + fsync +
+  // rename), or a crash can leave a torn file behind. The atomic writer
+  // itself is the one blessed place that opens an output stream; scratch
+  // writers elsewhere (console tables, lint reports) carry an explicit
+  // allow-comment acknowledging they are not crash-safe.
+  if (rel_path == "src/util/atomic_file.cc") return;
+  const size_t n = code.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsIdentStart(code[i])) {
+      ++i;
+      continue;
+    }
+    const size_t begin = i;
+    while (i < n && IsIdentChar(code[i])) ++i;
+    if (code.substr(begin, i - begin) == "ofstream") {
+      findings->push_back(
+          {rel_path, LineOf(starts, begin), "raw-ofstream-write",
+           "raw std::ofstream bypasses crash-atomic writes; use "
+           "WriteFileAtomic (util/atomic_file.h) for anything durable"});
+    }
+  }
+}
+
 void CheckFloatLiterals(const std::string& rel_path, const std::string& code,
                         const std::vector<size_t>& starts,
                         std::vector<Finding>* findings) {
@@ -537,6 +564,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   }
   CheckIncludeHygiene(rel_path, raw_lines, &raw);
   CheckFloatLiterals(rel_path, code, starts, &raw);
+  if (!kind.is_test) CheckRawOfstream(rel_path, code, starts, &raw);
 
   std::vector<Finding> findings;
   for (Finding& f : raw) {
@@ -594,7 +622,7 @@ const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
       "propensity-division", "banned-rand",     "naked-new",
       "include-guard",       "include-hygiene", "float-literal",
-      "lint-usage"};
+      "raw-ofstream-write",  "lint-usage"};
   return kRules;
 }
 

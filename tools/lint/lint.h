@@ -33,6 +33,11 @@
 //                        headers must not be included with <angle>
 //   float-literal        f-suffixed literals (1.0f) drift against the
 //                        all-double numeric stack
+//   raw-ofstream-write   `std::ofstream` in non-test code outside
+//                        src/util/atomic_file.cc — durable files must go
+//                        through WriteFileAtomic or a crash can leave a
+//                        torn file; deliberately non-durable writers
+//                        carry an allow-comment
 //
 // A suppression comment applies to its own line and the line directly
 // below it, so both trailing and standalone-comment-above styles work:
