@@ -1,20 +1,202 @@
-// google-benchmark microbenchmarks for the numeric kernels that dominate
-// dtrec training time, plus two design-choice ablations from DESIGN.md:
-//  - the Gram-identity regularization kernel vs the naive |U|×|I| product,
-//  - the autograd tape vs hand-derived analytic gradients for an IPS step.
+// Microbenchmarks for the numeric kernels that dominate dtrec training
+// time, in two layers:
+//
+//  1. A deterministic blocked-vs-naive kernel sweep that times the packed
+//     GEMM / row-dot kernels against the reference triple loops and writes
+//     a schema-versioned BENCH_kernels.json (GFLOP/s, ns/op, speedup per
+//     shape, build flavor stamped). This is the perf-trajectory record the
+//     `bench-smoke` CTest leg regenerates and validates on every run.
+//  2. The pre-existing google-benchmark suite (matmul wrappers, the
+//     Gram-identity regularization ablation, tape-vs-analytic IPS step).
+//
+// Modes:
+//   bench_micro_kernels                 sweep + JSON + google-benchmark
+//   bench_micro_kernels --smoke         short sweep + JSON, skip gbench
+//   bench_micro_kernels --json=PATH     override the JSON output path
+//   bench_micro_kernels --validate=P    schema-check an existing JSON, exit
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
 #include "autograd/tape.h"
+#include "bench_common.h"
 #include "core/disentangled_embeddings.h"
 #include "core/losses.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/atomic_file.h"
 #include "util/math_util.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace dtrec {
 namespace {
+
+// ----------------------------------------------------------------- sweep
+
+/// Times `fn` with an adaptive repetition count sized so the measured
+/// window is ~`target_seconds` long; returns nanoseconds per call.
+double TimeNs(const std::function<void()>& fn, double target_seconds) {
+  Stopwatch warm;
+  fn();
+  const double first = warm.ElapsedSeconds();
+  size_t reps = 3;
+  if (first > 0.0 && first < target_seconds) {
+    reps = std::min<size_t>(
+        1u << 20, std::max<size_t>(3, static_cast<size_t>(target_seconds /
+                                                          first)));
+  }
+  Stopwatch timed;
+  for (size_t r = 0; r < reps; ++r) fn();
+  return timed.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+}
+
+struct SweepShape {
+  const char* kernel;  // "gemm", "gemm_trans_a", "gemm_trans_b", "row_dot"
+  size_t m, k, n;
+};
+
+/// Runs blocked and naive variants of each kernel shape, returning paired
+/// rows (blocked first, carrying speedup_vs_naive).
+std::vector<bench::KernelBenchResult> RunKernelSweep(bool smoke) {
+  const double target = smoke ? 0.005 : 0.1;
+  std::vector<SweepShape> shapes = {
+      {"gemm", 256, 64, 256},  // the headline shape (ISSUE acceptance)
+      {"gemm", 64, 64, 64},
+      {"row_dot", 1682, 32, 1},  // serving: items × one user vector
+  };
+  if (!smoke) {
+    shapes.push_back({"gemm", 128, 128, 128});
+    shapes.push_back({"gemm", 256, 256, 256});
+    shapes.push_back({"gemm_trans_a", 64, 256, 64});
+    shapes.push_back({"gemm_trans_b", 943, 8, 1682});  // full predict matrix
+  }
+
+  std::vector<bench::KernelBenchResult> results;
+  Rng rng(42);
+  for (const SweepShape& s : shapes) {
+    const std::string kernel = s.kernel;
+    std::function<void()> blocked, naive;
+    double flops = 2.0 * s.m * s.k * s.n;
+
+    // Operands sized for the storage layout of each variant; the C buffer
+    // is shared (the kernels accumulate, which is harmless for timing).
+    Matrix a, b;
+    Matrix c(s.m, std::max<size_t>(s.n, 1));
+    std::vector<double> y(s.m);
+    if (kernel == "gemm") {
+      a = Matrix::RandomNormal(s.m, s.k, 1.0, &rng);
+      b = Matrix::RandomNormal(s.k, s.n, 1.0, &rng);
+      blocked = [&, s] {
+        kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(),
+                      s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+      naive = [&, s] {
+        kernels::naive::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                             c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+    } else if (kernel == "gemm_trans_a") {
+      a = Matrix::RandomNormal(s.k, s.m, 1.0, &rng);
+      b = Matrix::RandomNormal(s.k, s.n, 1.0, &rng);
+      blocked = [&, s] {
+        kernels::GemmTransA(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n,
+                            c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+      naive = [&, s] {
+        kernels::naive::GemmTransA(s.m, s.n, s.k, a.data(), s.m, b.data(),
+                                   s.n, c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+    } else if (kernel == "gemm_trans_b") {
+      a = Matrix::RandomNormal(s.m, s.k, 1.0, &rng);
+      b = Matrix::RandomNormal(s.n, s.k, 1.0, &rng);
+      blocked = [&, s] {
+        kernels::GemmTransB(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k,
+                            c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+      naive = [&, s] {
+        kernels::naive::GemmTransB(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                                   s.k, c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+      };
+    } else {  // row_dot: m rows of length k against one broadcast vector
+      a = Matrix::RandomNormal(s.m, s.k, 1.0, &rng);
+      b = Matrix::RandomNormal(1, s.k, 1.0, &rng);
+      flops = 2.0 * s.m * s.k;
+      blocked = [&, s] {
+        kernels::BatchedRowDot(s.m, s.k, a.data(), s.k, b.data(), 0,
+                               y.data());
+        benchmark::DoNotOptimize(y.data());
+      };
+      naive = [&, s] {
+        kernels::naive::BatchedRowDot(s.m, s.k, a.data(), s.k, b.data(), 0,
+                                      y.data());
+        benchmark::DoNotOptimize(y.data());
+      };
+    }
+
+    const double naive_ns = TimeNs(naive, target);
+    const double blocked_ns = TimeNs(blocked, target);
+
+    bench::KernelBenchResult nr;
+    nr.kernel = kernel;
+    nr.variant = "naive";
+    nr.m = s.m;
+    nr.k = s.k;
+    nr.n = s.n;
+    nr.ns_per_op = naive_ns;
+    nr.gflops = flops / naive_ns;  // flops/ns == GFLOP/s
+    nr.speedup_vs_naive = 1.0;
+
+    bench::KernelBenchResult br = nr;
+    br.variant = "blocked";
+    br.ns_per_op = blocked_ns;
+    br.gflops = flops / blocked_ns;
+    br.speedup_vs_naive = naive_ns / blocked_ns;
+
+    results.push_back(br);
+    results.push_back(nr);
+
+    std::printf("%-14s %4zux%-4zu * %4zux%-4zu  blocked %8.2f GF/s  "
+                "naive %8.2f GF/s  speedup %5.2fx\n",
+                kernel.c_str(), s.m, s.k, s.k, s.n, br.gflops, nr.gflops,
+                br.speedup_vs_naive);
+  }
+  return results;
+}
+
+int ValidateFile(const std::string& path) {
+  std::string content;
+  if (const Status read = ReadFile(path, &content); !read.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 read.ToString().c_str());
+    return 1;
+  }
+  const Status st = bench::ValidateKernelBenchJson(content);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: schema validation FAILED: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: schema %s OK\n", path.c_str(), bench::kKernelBenchSchema);
+  return 0;
+}
+
+// ------------------------------------------------- google-benchmark suite
+//
+// Design-choice ablations from DESIGN.md: the Gram-identity regularization
+// kernel vs the naive |U|×|I| product, and the autograd tape vs
+// hand-derived analytic gradients for an IPS step.
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -27,6 +209,35 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+/// The raw blocked kernel vs its naive reference on the headline shape, so
+/// `--benchmark_filter=Gemm` reproduces the JSON speedup interactively.
+void BM_GemmBlocked(benchmark::State& state) {
+  Rng rng(7);
+  const Matrix a = Matrix::RandomNormal(256, 64, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(64, 256, 1.0, &rng);
+  Matrix c(256, 256);
+  for (auto _ : state) {
+    kernels::Gemm(256, 256, 64, a.data(), 64, b.data(), 256, c.data(), 256);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 64 * 256);
+}
+BENCHMARK(BM_GemmBlocked);
+
+void BM_GemmNaive(benchmark::State& state) {
+  Rng rng(7);
+  const Matrix a = Matrix::RandomNormal(256, 64, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(64, 256, 1.0, &rng);
+  Matrix c(256, 256);
+  for (auto _ : state) {
+    kernels::naive::Gemm(256, 256, 64, a.data(), 64, b.data(), 256, c.data(),
+                         256);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 64 * 256);
+}
+BENCHMARK(BM_GemmNaive);
 
 void BM_MatMulTransB(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -150,7 +361,46 @@ void BM_GatherScatter(benchmark::State& state) {
 }
 BENCHMARK(BM_GatherScatter);
 
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_kernels.json";
+  std::vector<char*> gbench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      return ValidateFile(arg.substr(11));
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+
+  const std::vector<bench::KernelBenchResult> results = RunKernelSweep(smoke);
+  if (const Status write =
+          WriteFileAtomic(json_path, bench::KernelResultsToJson(results));
+      !write.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                 write.ToString().c_str());
+    return 1;
+  }
+  std::printf("[json written to %s]\n", json_path.c_str());
+  if (smoke) return 0;
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
 }  // namespace dtrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dtrec::Main(argc, argv); }

@@ -312,12 +312,9 @@ Var RowwiseDot(Var a, Var b) {
   Tape* tape = CheckSameTape(a, b);
   CheckSameShape(a.value(), b.value());
   const size_t pa = a.id(), pb = b.id();
-  const Matrix& va = a.value();
-  const Matrix& vb = b.value();
-  Matrix value(va.rows(), 1);
-  for (size_t r = 0; r < va.rows(); ++r) {
-    value(r, 0) = RowDot(va, r, vb, r);
-  }
+  // Batched kernel with one whole-matrix finiteness check, instead of a
+  // per-row RowDot each carrying its own guard.
+  Matrix value = dtrec::RowwiseDot(a.value(), b.value());
   return tape->MakeNode(
       std::move(value), {pa, pb}, [pa, pb](Tape* t, size_t self) {
         const Matrix& g = *t->MutableGrad(self);  // B×1

@@ -99,6 +99,8 @@ Status ApplyOverride(const std::string& key, const std::string& value,
     profile->dataset_scale = num;
   } else if (key == "k") {
     profile->ranking_k = static_cast<size_t>(num);
+  } else if (key == "positive_threshold") {
+    profile->positive_threshold = num;
   } else if (key == "steps") {
     profile->train.max_steps_per_epoch = static_cast<size_t>(num);
   } else {

@@ -21,6 +21,11 @@ struct DatasetProfile {
   TrainConfig train;
   size_t ranking_k = 5;
   double dataset_scale = 0.1;  ///< Yahoo/KuaiRec size knob
+  /// Relevance cut for ranking metrics (rating >= threshold is positive).
+  /// The simulated Coat/Yahoo/KuaiRec pipelines binarize labels to {0, 1}
+  /// at generation time, so 0.5 is correct here; a raw 5-star feed should
+  /// override to 4.0 (4–5 stars relevant, the paper's preprocessing).
+  double positive_threshold = 0.5;
 };
 
 DatasetProfile DefaultProfile(DatasetKind kind);
@@ -31,7 +36,8 @@ TrainConfig TuneForMethod(const std::string& method, TrainConfig base);
 
 /// Parses "key=value" command-line overrides into a profile. Recognized
 /// keys: epochs, batch_size, lr, dim, seeds (ignored here but validated),
-/// scale, k. Unknown keys yield InvalidArgument.
+/// scale, k, positive_threshold, steps. Unknown keys yield
+/// InvalidArgument.
 Status ApplyOverride(const std::string& key, const std::string& value,
                      DatasetProfile* profile);
 

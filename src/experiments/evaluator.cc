@@ -8,10 +8,12 @@
 namespace dtrec {
 
 RankingMetrics EvaluateRanking(const RecommenderTrainer& trainer,
-                               const RatingDataset& dataset, size_t k) {
+                               const RatingDataset& dataset, size_t k,
+                               double positive_threshold) {
   const std::vector<double> predictions =
       trainer.PredictMany(dataset.test());
-  return ComputeRankingMetrics(dataset.test(), predictions, k);
+  return ComputeRankingMetrics(dataset.test(), predictions, k,
+                               positive_threshold);
 }
 
 SemiSyntheticMetrics EvaluateSemiSynthetic(const RecommenderTrainer& trainer,
@@ -24,8 +26,9 @@ SemiSyntheticMetrics EvaluateSemiSynthetic(const RecommenderTrainer& trainer,
 
   const std::vector<double> test_predictions =
       trainer.PredictMany(data.dataset.test());
-  const RankingMetrics ranking =
-      ComputeRankingMetrics(data.dataset.test(), test_predictions, 50);
+  // Semi-synthetic conversions are realized Bernoulli draws in {0, 1}.
+  const RankingMetrics ranking = ComputeRankingMetrics(
+      data.dataset.test(), test_predictions, 50, /*positive_threshold=*/0.5);
   out.ndcg_at_50 = ranking.ndcg_at_k;
   return out;
 }

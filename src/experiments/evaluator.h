@@ -8,9 +8,13 @@
 namespace dtrec {
 
 /// Ranking evaluation on the unbiased test split (paper Table IV
-/// protocol): AUC global, NDCG@K and Recall@K per user.
+/// protocol): AUC global, NDCG@K and Recall@K per user. The default
+/// `positive_threshold` of 0.5 matches the simulated pipelines, whose
+/// labels are pre-binarized to {0, 1}; feed raw 5-star ratings with the
+/// threshold from DatasetProfile::positive_threshold (e.g. 4.0) instead.
 RankingMetrics EvaluateRanking(const RecommenderTrainer& trainer,
-                               const RatingDataset& dataset, size_t k);
+                               const RatingDataset& dataset, size_t k,
+                               double positive_threshold = 0.5);
 
 /// Pointwise + ranking evaluation for the semi-synthetic pipeline
 /// (Table III / Figure 3): MSE and MAE of the predicted conversion

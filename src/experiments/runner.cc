@@ -112,7 +112,8 @@ std::vector<MethodResult> RunComparison(
       train_times.push_back(watch.ElapsedSeconds());
 
       const RankingMetrics metrics =
-          EvaluateRanking(*trainer, datasets[s], profile.ranking_k);
+          EvaluateRanking(*trainer, datasets[s], profile.ranking_k,
+                          profile.positive_threshold);
       aucs.push_back(metrics.auc);
       ndcgs.push_back(metrics.ndcg_at_k);
       recalls.push_back(metrics.recall_at_k);

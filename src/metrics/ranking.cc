@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <set>
@@ -39,8 +40,12 @@ double GlobalAuc(const std::vector<double>& score,
     i = j;
   }
   const size_t negatives = n - positives;
-  DTREC_CHECK_GT(positives, 0u) << "AUC needs at least one positive";
-  DTREC_CHECK_GT(negatives, 0u) << "AUC needs at least one negative";
+  // All-positive / all-negative input defines no pairwise ranking — NaN,
+  // not a CHECK-abort: one degenerate test split must not kill a whole
+  // RunComparison sweep. Callers skip-and-count NaN.
+  if (positives == 0 || negatives == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const double u = rank_sum_pos -
                    static_cast<double>(positives) *
                        (static_cast<double>(positives) + 1.0) / 2.0;
@@ -159,10 +164,14 @@ double CatalogCoverageAtK(const std::vector<RatingTriple>& test,
 
 RankingMetrics ComputeRankingMetrics(const std::vector<RatingTriple>& test,
                                      const std::vector<double>& predictions,
-                                     size_t k) {
+                                     size_t k, double positive_threshold) {
   DTREC_CHECK_EQ(test.size(), predictions.size());
   DTREC_CHECK(!test.empty());
 
+  // Binarize once, up front, with the caller's relevance threshold. The
+  // seed pushed raw ratings straight into the `> 0.5` binary-label
+  // helpers, which on 1–5 star data makes every triple "positive" and
+  // degenerates the AUC.
   std::vector<double> all_scores;
   std::vector<double> all_labels;
   all_scores.reserve(test.size());
@@ -171,21 +180,25 @@ RankingMetrics ComputeRankingMetrics(const std::vector<RatingTriple>& test,
   std::map<uint32_t, std::pair<std::vector<double>, std::vector<double>>>
       by_user;
   for (size_t i = 0; i < test.size(); ++i) {
+    const double label = test[i].rating >= positive_threshold ? 1.0 : 0.0;
     all_scores.push_back(predictions[i]);
-    all_labels.push_back(test[i].rating);
+    all_labels.push_back(label);
     auto& [scores, labels] = by_user[test[i].user];
     scores.push_back(predictions[i]);
-    labels.push_back(test[i].rating);
+    labels.push_back(label);
   }
 
   RankingMetrics out;
-  out.auc = GlobalAuc(all_scores, all_labels);
+  out.auc = GlobalAuc(all_scores, all_labels);  // NaN if degenerate
   double ndcg_total = 0.0, recall_total = 0.0;
   for (const auto& [user, sl] : by_user) {
     const auto& [scores, labels] = sl;
     size_t positives = 0;
     for (double l : labels) positives += l > 0.5 ? 1 : 0;
-    if (positives == 0) continue;
+    if (positives == 0) {
+      ++out.users_skipped;
+      continue;
+    }
     ndcg_total += NdcgAtK(scores, labels, k);
     recall_total += RecallAtK(scores, labels, k);
     ++out.users_scored;

@@ -10,15 +10,18 @@ namespace dtrec {
 
 /// Ranking quality of predictions on a test split with binary relevance.
 struct RankingMetrics {
-  double auc = 0.0;        ///< global AUC over all test points
+  double auc = 0.0;        ///< global AUC; NaN when the split is degenerate
   double ndcg_at_k = 0.0;  ///< per-user NDCG@K, averaged over scored users
   double recall_at_k = 0.0;  ///< per-user Recall@K, averaged
   size_t users_scored = 0;   ///< users contributing to NDCG/Recall
+  size_t users_skipped = 0;  ///< users with no positive item (no signal)
 };
 
 /// Global AUC: P(score(positive) > score(negative)) over all label-1 vs
 /// label-0 pairs, ties counted half. Computed in O(n log n) via ranks.
-/// Requires at least one positive and one negative.
+/// All-positive or all-negative input defines no pairwise ranking and
+/// returns NaN (callers skip-and-count; a degenerate split must not abort
+/// a whole comparison sweep).
 double GlobalAuc(const std::vector<double>& score,
                  const std::vector<double>& label);
 
@@ -50,12 +53,17 @@ double CatalogCoverageAtK(const std::vector<RatingTriple>& test,
                           size_t num_items);
 
 /// Full evaluation protocol of the paper's Tables III/IV: `predictions[i]`
-/// scores `test[i]`; items are grouped and ranked per user; users whose
-/// test slice has no positive item are skipped for NDCG/Recall (they carry
-/// no ranking signal) but still feed the global AUC.
+/// scores `test[i]`; triples with rating >= `positive_threshold` are the
+/// relevant items; items are grouped and ranked per user; users whose test
+/// slice has no positive item are skipped for NDCG/Recall (they carry no
+/// ranking signal, `users_skipped` counts them) but still feed the global
+/// AUC. The default threshold of 4 matches raw 5-star data (4–5 stars are
+/// relevant); pipelines whose labels are already binarized to {0, 1} must
+/// pass 0.5 — thread it from DatasetProfile::positive_threshold rather
+/// than relying on the default.
 RankingMetrics ComputeRankingMetrics(const std::vector<RatingTriple>& test,
                                      const std::vector<double>& predictions,
-                                     size_t k);
+                                     size_t k, double positive_threshold = 4.0);
 
 }  // namespace dtrec
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "tensor/kernels.h"
 #include "util/string_util.h"
 
 namespace dtrec::serve {
@@ -98,25 +99,11 @@ void ServingModel::ScoreAllItems(size_t user,
   const double* pu = user_factors_.row(user);
   const double ub = user_bias_.empty() ? 0.0 : user_bias_(user, 0);
   double* scores = out->data();
-  // Tile the item rows: one tile of kBlock rows (~kBlock·d·8 bytes) plus
-  // the user vector fits comfortably in L1/L2 for serving-sized dims.
-  constexpr size_t kBlock = 64;
-  for (size_t block = 0; block < n; block += kBlock) {
-    const size_t end = std::min(n, block + kBlock);
-    for (size_t i = block; i < end; ++i) {
-      const double* qi = item_factors_.row(i);
-      double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
-      size_t k = 0;
-      for (; k + 4 <= d; k += 4) {
-        d0 += pu[k] * qi[k];
-        d1 += pu[k + 1] * qi[k + 1];
-        d2 += pu[k + 2] * qi[k + 2];
-        d3 += pu[k + 3] * qi[k + 3];
-      }
-      double dot = (d0 + d1) + (d2 + d3);
-      for (; k < d; ++k) dot += pu[k] * qi[k];
-      scores[i] = dot + ub;
-    }
+  // Batched row-dot from the shared kernel layer: the user vector (ldb=0
+  // broadcast) against every item row, four rows per pass.
+  kernels::BatchedRowDot(n, d, item_factors_.data(), d, pu, 0, scores);
+  if (ub != 0.0) {
+    for (size_t i = 0; i < n; ++i) scores[i] += ub;
   }
   if (!item_bias_.empty()) {
     for (size_t i = 0; i < n; ++i) scores[i] += item_bias_(i, 0);

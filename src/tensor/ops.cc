@@ -1,24 +1,22 @@
 #include "tensor/ops.h"
 
+#include "tensor/kernels.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
 
 namespace dtrec {
 
+// The three matmuls route through the blocked kernel layer
+// (tensor/kernels.h). No data-dependent skips here: the seed's
+// `aik == 0.0` shortcut changed IEEE semantics (0·NaN became 0, hiding a
+// NaN/Inf in the other operand from the post-hoc finiteness check) and
+// put an unpredictable branch in the dense hot loop.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   DTREC_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order streams through b and c rows contiguously.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::Gemm(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(),
+                b.cols(), c.data(), c.cols());
   DTREC_ASSERT_FINITE(c, "MatMul");
   return c;
 }
@@ -26,16 +24,8 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   DTREC_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row(k);
-    const double* brow = b.row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row(i);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  kernels::GemmTransA(a.cols(), b.cols(), a.rows(), a.data(), a.cols(),
+                      b.data(), b.cols(), c.data(), c.cols());
   DTREC_ASSERT_FINITE(c, "MatMulTransA");
   return c;
 }
@@ -43,17 +33,19 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   DTREC_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double s = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      crow[j] = s;
-    }
-  }
+  kernels::GemmTransB(a.rows(), b.rows(), a.cols(), a.data(), a.cols(),
+                      b.data(), b.cols(), c.data(), c.cols());
   DTREC_ASSERT_FINITE(c, "MatMulTransB");
+  return c;
+}
+
+Matrix RowwiseDot(const Matrix& a, const Matrix& b) {
+  DTREC_CHECK_EQ(a.rows(), b.rows());
+  DTREC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), 1);
+  kernels::BatchedRowDot(a.rows(), a.cols(), a.data(), a.cols(), b.data(),
+                         b.cols(), c.data());
+  DTREC_ASSERT_FINITE(c, "RowwiseDot");
   return c;
 }
 

@@ -21,6 +21,11 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 /// C = A * Bᵀ. Requires A.cols() == B.cols(). Avoids materializing Bᵀ.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 
+/// Row-wise dot products: C(r, 0) = A.row(r) · B.row(r). Shapes must
+/// match. Batched through the kernel layer so the finiteness guard runs
+/// once on the whole result instead of per row.
+Matrix RowwiseDot(const Matrix& a, const Matrix& b);
+
 /// Element-wise sum / difference / product (Hadamard). Shapes must match.
 Matrix Add(const Matrix& a, const Matrix& b);
 Matrix Sub(const Matrix& a, const Matrix& b);

@@ -69,6 +69,14 @@ TEST(AucTest, HandComputed) {
   EXPECT_DOUBLE_EQ(GlobalAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
 }
 
+TEST(AucTest, DegenerateInputReturnsNaNInsteadOfAborting) {
+  // Regression: the seed CHECK-aborted on all-positive / all-negative
+  // labels, so one degenerate test split killed a whole RunComparison.
+  EXPECT_TRUE(std::isnan(GlobalAuc({0.1, 0.9}, {1.0, 1.0})));
+  EXPECT_TRUE(std::isnan(GlobalAuc({0.1, 0.9}, {0.0, 0.0})));
+  EXPECT_TRUE(std::isnan(GlobalAuc({0.5}, {1.0})));
+}
+
 TEST(NdcgTest, PerfectRankingIsOne) {
   EXPECT_DOUBLE_EQ(NdcgAtK({0.9, 0.8, 0.1}, {1, 1, 0}, 2), 1.0);
 }
@@ -99,12 +107,48 @@ TEST(RankingMetricsTest, GroupsByUser) {
       {2, 0, 0.0}, {2, 1, 0.0},  // user 2: no positives (skipped)
   };
   const std::vector<double> pred{0.9, 0.2, 0.8, 0.3, 0.5, 0.5};
-  const RankingMetrics m = ComputeRankingMetrics(test, pred, 1);
+  // Labels are pre-binarized {0, 1}, so the relevance cut is 0.5.
+  const RankingMetrics m =
+      ComputeRankingMetrics(test, pred, 1, /*positive_threshold=*/0.5);
   EXPECT_EQ(m.users_scored, 2u);
+  EXPECT_EQ(m.users_skipped, 1u);
   EXPECT_DOUBLE_EQ(m.recall_at_k, 0.5);  // user0: 1, user1: 0
   // AUC over all: pos scores {0.9, 0.3}, negs {0.2, 0.8, 0.5, 0.5}.
   // wins: 0.9 beats all 4; 0.3 beats 0.2 only -> 5/8.
   EXPECT_DOUBLE_EQ(m.auc, 5.0 / 8.0);
+}
+
+TEST(RankingMetricsTest, FiveStarRatingsUseThresholdNotHalf) {
+  // Regression: the seed pushed raw 1–5 star ratings into the binary
+  // `> 0.5` helpers, making every triple "positive" (and CHECK-aborting
+  // the AUC). With the explicit threshold, only ratings >= 4 count.
+  std::vector<RatingTriple> test{
+      {0, 0, 5.0}, {0, 1, 2.0},  // user 0: the 5-star ranked first
+      {1, 0, 4.0}, {1, 1, 3.0},  // user 1: the 4-star ranked second
+  };
+  const std::vector<double> pred{0.9, 0.2, 0.3, 0.8};
+  const RankingMetrics m =
+      ComputeRankingMetrics(test, pred, 1, /*positive_threshold=*/4.0);
+  EXPECT_EQ(m.users_scored, 2u);
+  EXPECT_EQ(m.users_skipped, 0u);
+  // Positives {0.9, 0.3} vs negatives {0.2, 0.8}: wins = (0.9>0.2,
+  // 0.9>0.8, 0.3>0.2, 0.3<0.8) = 3 of 4.
+  EXPECT_DOUBLE_EQ(m.auc, 0.75);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 0.5);  // user0 hit, user1 miss
+}
+
+TEST(RankingMetricsTest, DegenerateSplitYieldsNaNAucAndSkipCounts) {
+  // All-negative split: no abort; AUC is NaN, every user is counted as
+  // skipped, and the rank metrics default to zero.
+  std::vector<RatingTriple> test{{0, 0, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}};
+  const std::vector<double> pred{0.4, 0.6, 0.5};
+  const RankingMetrics m =
+      ComputeRankingMetrics(test, pred, 1, /*positive_threshold=*/4.0);
+  EXPECT_TRUE(std::isnan(m.auc));
+  EXPECT_EQ(m.users_scored, 0u);
+  EXPECT_EQ(m.users_skipped, 2u);
+  EXPECT_DOUBLE_EQ(m.ndcg_at_k, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 0.0);
 }
 
 TEST(AveragePrecisionTest, HandComputed) {
