@@ -45,6 +45,18 @@ int Run(int argc, char** argv) {
   std::cout << "build flavor: DTREC_FAILPOINTS=OFF — failpoint sites "
                "compiled out\n";
 #endif
+  // Trace spans default ON: each unarmed DTREC_TRACE_SPAN site is one
+  // relaxed atomic load per scope entry (no recording unless armed).
+  // Reported efficiency numbers come from a -DDTREC_TRACING=OFF build,
+  // where every site compiles to nothing.
+#if defined(DTREC_TRACING_ENABLED)
+  std::cout << "build flavor: DTREC_TRACING=ON — trace-span sites "
+               "compiled in (unarmed: one relaxed load each); prefer a "
+               "-DDTREC_TRACING=OFF build for reported timings\n";
+#else
+  std::cout << "build flavor: DTREC_TRACING=OFF — trace-span sites "
+               "compiled out\n";
+#endif
 
   const std::vector<std::string> methods = {
       "ESMM",      "IPS",      "Multi-IPS", "ESCM2-IPS", "DT-IPS",

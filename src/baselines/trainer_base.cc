@@ -1,11 +1,16 @@
 #include "baselines/trainer_base.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/event_log.h"
+#include "obs/prop_stats.h"
+#include "obs/trace.h"
 #include "optim/lr_schedule.h"
 #include "util/failpoint.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
+#include "util/stopwatch.h"
 
 namespace dtrec {
 
@@ -83,17 +88,71 @@ Status MfJointTrainerBase::Fit(const RatingDataset& dataset,
     }
   }
 
+  // Per-epoch event stream (obs/event_log.h). On resume the file is
+  // opened in append mode so records for epochs [0, start_epoch) survive.
+  obs::TrainEventLog event_log;
+  collect_epoch_stats_ = !options.events_path.empty();
+  if (collect_epoch_stats_) {
+    DTREC_RETURN_IF_ERROR(
+        event_log.Open(options.events_path, /*append=*/start_epoch > 0));
+  }
+
   const InverseTimeDecayLr schedule(config_.learning_rate,
                                     config_.lr_decay);
+  double current_lr = config_.learning_rate;
   for (size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     if (config_.lr_decay > 0.0) {
-      OnLearningRate(schedule.LearningRate(static_cast<int64_t>(epoch)));
+      current_lr = schedule.LearningRate(static_cast<int64_t>(epoch));
+      OnLearningRate(current_lr);
     }
     DTREC_FAILPOINT("train/epoch_begin");
-    for (size_t step = 0; step < steps; ++step) {
-      TrainStep(sampler.Sample(config_.batch_size));
+    const Stopwatch epoch_watch;
+    const obs::PropensityClipSnapshot clip_begin =
+        obs::GetPropensityClipSnapshot();
+    epoch_losses_.clear();
+    grad_norm_sum_ = 0.0;
+    grad_norm_steps_ = 0;
+    {
+      DTREC_TRACE_SPAN("epoch");
+      for (size_t step = 0; step < steps; ++step) {
+        DTREC_TRACE_SPAN("train_step");
+        TrainStep(sampler.Sample(config_.batch_size));
+      }
+      EpochEnd(epoch);
     }
-    EpochEnd(epoch);
+    if (collect_epoch_stats_) {
+      obs::TrainEvent event;
+      event.method = name();
+      event.epoch = epoch;
+      event.steps = steps;
+      event.wall_seconds = epoch_watch.ElapsedSeconds();
+      event.learning_rate = current_lr;
+      for (const auto& [loss_name, acc] : epoch_losses_) {
+        event.losses.emplace_back(
+            loss_name, acc.second == 0
+                           ? 0.0
+                           : acc.first / static_cast<double>(acc.second));
+      }
+      event.grad_norm =
+          grad_norm_steps_ == 0
+              ? 0.0
+              : grad_norm_sum_ / static_cast<double>(grad_norm_steps_);
+      const obs::PropensityClipSnapshot clip_delta =
+          obs::GetPropensityClipSnapshot().DeltaSince(clip_begin);
+      event.clip_total = clip_delta.total;
+      event.clip_fired = clip_delta.fired;
+      event.clip_rate = clip_delta.rate();
+      // Fingerprint of every RNG the epoch loop advances (the sampler is
+      // the one that actually moves per step; the trainer RNG covers
+      // method-specific draws). Two runs that diverge stop matching here.
+      const Rng::State trainer_rng = rng_.state();
+      const Rng::State sampler_rng = sampler.mutable_rng()->state();
+      event.rng_cursor = trainer_rng.s[0] ^ trainer_rng.s[1] ^
+                         trainer_rng.s[2] ^ trainer_rng.s[3] ^
+                         sampler_rng.s[0] ^ sampler_rng.s[1] ^
+                         sampler_rng.s[2] ^ sampler_rng.s[3];
+      DTREC_RETURN_IF_ERROR(event_log.Append(event));
+    }
     if (!ckpt_path.empty() && ((epoch + 1) % options.checkpoint_every == 0 ||
                                epoch + 1 == config_.epochs)) {
       TrainState state;
@@ -106,6 +165,7 @@ Status MfJointTrainerBase::Fit(const RatingDataset& dataset,
     }
     DTREC_FAILPOINT("train/epoch_end");
   }
+  collect_epoch_stats_ = false;
   return Status::OK();
 }
 
@@ -114,10 +174,36 @@ void MfJointTrainerBase::BackwardAndStep(ag::Tape* tape, ag::Var loss,
                                          const std::vector<Matrix*>& params) {
   DTREC_CHECK(tape != nullptr);
   DTREC_CHECK_EQ(leaves.size(), params.size());
-  tape->Backward(loss);
-  for (size_t i = 0; i < leaves.size(); ++i) {
-    opt_->Step(params[i], tape->GradOf(leaves[i]));
+  {
+    DTREC_TRACE_SPAN("backward");
+    tape->Backward(loss);
   }
+  if (collect_epoch_stats_) {
+    const Matrix& loss_value = loss.value();
+    if (loss_value.size() == 1) RecordEpochLoss("total", loss_value(0, 0));
+    double sq_sum = 0.0;
+    for (const ag::Var& leaf : leaves) {
+      const Matrix& grad = tape->GradOf(leaf);
+      for (size_t i = 0; i < grad.size(); ++i) {
+        sq_sum += grad.at_flat(i) * grad.at_flat(i);
+      }
+    }
+    grad_norm_sum_ += std::sqrt(sq_sum);
+    ++grad_norm_steps_;
+  }
+  {
+    DTREC_TRACE_SPAN("optimizer_step");
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      opt_->Step(params[i], tape->GradOf(leaves[i]));
+    }
+  }
+}
+
+void MfJointTrainerBase::RecordEpochLoss(const char* name, double value) {
+  if (!collect_epoch_stats_) return;
+  auto& slot = epoch_losses_[name];
+  slot.first += value;
+  ++slot.second;
 }
 
 Matrix MfJointTrainerBase::IpsWeights(

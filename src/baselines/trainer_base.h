@@ -2,6 +2,7 @@
 #define DTREC_BASELINES_TRAINER_BASE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,12 @@ struct FitOptions {
   /// at the epoch it recorded. A missing checkpoint file is a cold start,
   /// not an error, so retry wrappers can pass resume=true unconditionally.
   bool resume = false;
+  /// Path of a JSONL training event stream: one "dtrec-train-events-v1"
+  /// record per completed epoch (loss components, grad norm, propensity
+  /// clip rate, wall time, RNG cursor — see obs/event_log.h). Empty
+  /// disables the stream. A fresh run truncates the file; a resumed run
+  /// appends, so earlier epochs' records survive the restart.
+  std::string events_path;
 };
 
 /// Interface every debiasing method implements. Training reads only
@@ -169,10 +176,21 @@ class MfJointTrainerBase : public RecommenderTrainer {
   }
 
   /// Runs backward from `loss` and applies one optimizer step for each
-  /// (leaf, parameter) pair.
+  /// (leaf, parameter) pair. When the event stream is on, also records
+  /// the scalar loss value as the "total" component and accumulates the
+  /// global gradient L2 norm for the epoch's event record.
   void BackwardAndStep(ag::Tape* tape, ag::Var loss,
                        const std::vector<ag::Var>& leaves,
                        const std::vector<Matrix*>& params);
+
+  /// Accumulates one per-step observation of a named loss component; the
+  /// epoch's event record reports the per-step mean. No-op unless Fit was
+  /// given FitOptions::events_path (check collect_epoch_stats_ before
+  /// doing non-trivial work to compute `value`).
+  void RecordEpochLoss(const char* name, double value);
+
+  /// True while Fit is emitting the per-epoch event stream.
+  bool collect_epoch_stats_ = false;
 
   /// Per-cell inverse-propensity weights o_i / clip(p̂_i) / B, the batch
   /// estimate of the IPS loss weights. `propensity(i)` returns p̂ for
@@ -186,6 +204,12 @@ class MfJointTrainerBase : public RecommenderTrainer {
   MfModel pred_;
   std::unique_ptr<Optimizer> opt_;
   Rng rng_;
+
+ private:
+  // Per-epoch telemetry accumulators (cleared at each epoch start).
+  std::map<std::string, std::pair<double, uint64_t>> epoch_losses_;
+  double grad_norm_sum_ = 0.0;
+  uint64_t grad_norm_steps_ = 0;
 };
 
 /// Squared-error Var e = (r − σ(logits))² against constant labels.

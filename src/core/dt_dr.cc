@@ -1,5 +1,6 @@
 #include "core/dt_dr.h"
 
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
 
@@ -36,31 +37,36 @@ void DtDrTrainer::TrainStep(const Batch& batch) {
   ag::Tape tape;
   std::vector<ag::Var> extra_leaves;
   std::vector<Matrix*> extra_params;
-  DisentangledGraph graph =
-      BuildGraph(&tape, batch, &extra_leaves, &extra_params);
-
-  // Constants of the prediction step: clipped learned MNAR propensities
-  // and the imputation model's pseudo-labels.
+  ag::Var dr_loss;
+  DisentangledGraph graph;
   Matrix clipped_p(b, 1);
-  Matrix pseudo(b, 1);
-  Matrix w_imputed(b, 1), w_observed(b, 1);
-  const Matrix& prop_logits = graph.prop_logits.value();
-  for (size_t i = 0; i < b; ++i) {
-    clipped_p(i, 0) = ClipPropensity(Sigmoid(prop_logits(i, 0)),
-                                     config_.propensity_clip);
-    DTREC_ASSERT_PROPENSITY(clipped_p(i, 0));
-    pseudo(i, 0) = imp_.PredictProbability(batch.users[i], batch.items[i]);
-    const double o_over_p = batch.observed(i, 0) / clipped_p(i, 0);
-    w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
-    w_observed(i, 0) = o_over_p * inv_b;
-  }
-  DTREC_ASSERT_FINITE(w_observed, "DtDrTrainer DR weights");
+  {
+    DTREC_TRACE_SPAN("forward");
+    graph = BuildGraph(&tape, batch, &extra_leaves, &extra_params);
 
-  ag::Var probs = ag::Sigmoid(graph.rating_logits);
-  ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), probs));
-  ag::Var e_hat = ag::Square(ag::Sub(tape.Constant(pseudo), probs));
-  ag::Var dr_loss = ag::Add(ag::WeightedSumElems(e_hat, w_imputed),
-                            ag::WeightedSumElems(e, w_observed));
+    // Constants of the prediction step: clipped learned MNAR propensities
+    // and the imputation model's pseudo-labels.
+    Matrix pseudo(b, 1);
+    Matrix w_imputed(b, 1), w_observed(b, 1);
+    const Matrix& prop_logits = graph.prop_logits.value();
+    for (size_t i = 0; i < b; ++i) {
+      clipped_p(i, 0) = ClipPropensity(Sigmoid(prop_logits(i, 0)),
+                                       config_.propensity_clip);
+      DTREC_ASSERT_PROPENSITY(clipped_p(i, 0));
+      pseudo(i, 0) = imp_.PredictProbability(batch.users[i], batch.items[i]);
+      const double o_over_p = batch.observed(i, 0) / clipped_p(i, 0);
+      w_imputed(i, 0) = (1.0 - o_over_p) * inv_b;
+      w_observed(i, 0) = o_over_p * inv_b;
+    }
+    DTREC_ASSERT_FINITE(w_observed, "DtDrTrainer DR weights");
+
+    ag::Var probs = ag::Sigmoid(graph.rating_logits);
+    ag::Var e = ag::Square(ag::Sub(tape.Constant(batch.ratings), probs));
+    ag::Var e_hat = ag::Square(ag::Sub(tape.Constant(pseudo), probs));
+    dr_loss = ag::Add(ag::WeightedSumElems(e_hat, w_imputed),
+                      ag::WeightedSumElems(e, w_observed));
+  }
+  if (collect_epoch_stats_) RecordEpochLoss("dr", dr_loss.value()(0, 0));
 
   ag::Var loss = ag::Add(dr_loss, SharedLossTerms(&tape, batch, &graph));
 
@@ -91,6 +97,7 @@ void DtDrTrainer::ImputationStep(const Batch& batch,
   }
   if (total == 0.0) return;
 
+  DTREC_TRACE_SPAN("imputation");
   ag::Tape tape;
   std::vector<ag::Var> leaves = imp_.MakeLeaves(&tape);
   ag::Var logits = imp_.BatchLogits(&tape, leaves, batch.users, batch.items);
@@ -98,6 +105,7 @@ void DtDrTrainer::ImputationStep(const Batch& batch,
   ag::Var e_hat = ag::Square(ag::Sub(pseudo, tape.Constant(pred_probs)));
   ag::Var loss = ag::WeightedSumElems(
       ag::Square(ag::Sub(tape.Constant(target_e), e_hat)), w);
+  if (collect_epoch_stats_) RecordEpochLoss("imputation", loss.value()(0, 0));
   tape.Backward(loss);
   for (size_t i = 0; i < leaves.size(); ++i) {
     imp_opt_->Step(imp_.Params()[i], tape.GradOf(leaves[i]));

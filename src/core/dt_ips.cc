@@ -1,6 +1,7 @@
 #include "core/dt_ips.h"
 
 #include "core/losses.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
@@ -89,18 +90,33 @@ ag::Var DtIpsTrainer::SharedLossTerms(ag::Tape* tape, const Batch& batch,
                                       DisentangledGraph* graph) {
   // Propensity loss L_O: cross entropy of o over the sampled slice of the
   // entire space (stable logit-space form).
-  const Matrix bce_weights(batch.size(), 1,
-                           1.0 / static_cast<double>(batch.size()));
-  ag::Var prop_loss = ag::SigmoidBceSum(graph->prop_logits, batch.observed,
-                                        bce_weights);
-  ag::Var shared = ag::Scale(prop_loss, config_.alpha);
+  ag::Var shared;
+  {
+    DTREC_TRACE_SPAN("propensity_bce");
+    const Matrix bce_weights(batch.size(), 1,
+                             1.0 / static_cast<double>(batch.size()));
+    ag::Var prop_loss = ag::SigmoidBceSum(graph->prop_logits, batch.observed,
+                                          bce_weights);
+    shared = ag::Scale(prop_loss, config_.alpha);
+    if (collect_epoch_stats_) {
+      RecordEpochLoss("propensity_bce", shared.value()(0, 0));
+    }
+  }
   if (config_.beta != 0.0) {
-    shared =
-        ag::Add(shared, ag::Scale(DisentangleLoss(*graph), config_.beta));
+    DTREC_TRACE_SPAN("disentangle_loss");
+    ag::Var term = ag::Scale(DisentangleLoss(*graph), config_.beta);
+    if (collect_epoch_stats_) {
+      RecordEpochLoss("disentangle", term.value()(0, 0));
+    }
+    shared = ag::Add(shared, term);
   }
   if (config_.gamma != 0.0) {
-    shared = ag::Add(shared,
-                     ag::Scale(RegularizationLoss(*graph), config_.gamma));
+    DTREC_TRACE_SPAN("reg_loss");
+    ag::Var term = ag::Scale(RegularizationLoss(*graph), config_.gamma);
+    if (collect_epoch_stats_) {
+      RecordEpochLoss("regularization", term.value()(0, 0));
+    }
+    shared = ag::Add(shared, term);
   }
   (void)tape;
   return shared;
@@ -110,25 +126,31 @@ void DtIpsTrainer::TrainStep(const Batch& batch) {
   ag::Tape tape;
   std::vector<ag::Var> extra_leaves;
   std::vector<Matrix*> extra_params;
-  DisentangledGraph graph =
-      BuildGraph(&tape, batch, &extra_leaves, &extra_params);
+  ag::Var ips_loss;
+  DisentangledGraph graph;
+  {
+    DTREC_TRACE_SPAN("forward");
+    graph = BuildGraph(&tape, batch, &extra_leaves, &extra_params);
 
-  // IPS term with the learned MNAR propensity (stop-gradient weights: the
-  // propensity is trained by L_O, not by the reweighted rating loss).
-  Matrix w(batch.size(), 1);
-  const double inv_b = 1.0 / static_cast<double>(batch.size());
-  const Matrix& prop_logits = graph.prop_logits.value();
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch.observed(i, 0) == 0.0) continue;
-    const double p = ClipPropensity(Sigmoid(prop_logits(i, 0)),
-                                    config_.propensity_clip);
-    DTREC_ASSERT_PROPENSITY(p);
-    w(i, 0) = inv_b / p;
+    // IPS term with the learned MNAR propensity (stop-gradient weights:
+    // the propensity is trained by L_O, not by the reweighted rating
+    // loss).
+    Matrix w(batch.size(), 1);
+    const double inv_b = 1.0 / static_cast<double>(batch.size());
+    const Matrix& prop_logits = graph.prop_logits.value();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.observed(i, 0) == 0.0) continue;
+      const double p = ClipPropensity(Sigmoid(prop_logits(i, 0)),
+                                      config_.propensity_clip);
+      DTREC_ASSERT_PROPENSITY(p);
+      w(i, 0) = inv_b / p;
+    }
+    DTREC_ASSERT_FINITE(w, "DtIpsTrainer IPS weights");
+    ag::Var e =
+        SquaredErrorVsLabels(&tape, graph.rating_logits, batch.ratings);
+    ips_loss = ag::WeightedSumElems(e, w);
   }
-  DTREC_ASSERT_FINITE(w, "DtIpsTrainer IPS weights");
-  ag::Var e =
-      SquaredErrorVsLabels(&tape, graph.rating_logits, batch.ratings);
-  ag::Var ips_loss = ag::WeightedSumElems(e, w);
+  if (collect_epoch_stats_) RecordEpochLoss("ips", ips_loss.value()(0, 0));
 
   ag::Var loss = ag::Add(ips_loss, SharedLossTerms(&tape, batch, &graph));
 

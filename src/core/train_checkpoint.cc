@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "tensor/serialization.h"
 #include "util/atomic_file.h"
 #include "util/crc32.h"
@@ -83,6 +84,7 @@ Status ReadRngState(std::istream* in, Rng::State* state) {
 
 Status SaveTrainCheckpoint(const std::string& path, const TrainState& state,
                            const std::vector<CheckpointGroup>& groups) {
+  DTREC_TRACE_SPAN("checkpoint_save");
   std::ostringstream out;
   out.write(kMagic, sizeof(kMagic));
   WriteU32(&out, kFormatVersion);
@@ -120,6 +122,7 @@ Status SaveTrainCheckpoint(const std::string& path, const TrainState& state,
 
 Status LoadTrainCheckpoint(const std::string& path, TrainState* state,
                            const std::vector<CheckpointGroup>& groups) {
+  DTREC_TRACE_SPAN("checkpoint_restore");
   if (state == nullptr) return Status::InvalidArgument("null state");
   std::string contents;
   DTREC_RETURN_IF_ERROR(ReadFile(path, &contents));

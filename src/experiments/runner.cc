@@ -7,6 +7,7 @@
 
 #include "baselines/registry.h"
 #include "metrics/ttest.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -76,6 +77,7 @@ std::vector<MethodResult> RunComparison(
     const std::vector<std::string>& methods, const DatasetFactory& factory,
     const DatasetProfile& profile, const std::vector<uint64_t>& seeds,
     const ComparisonOptions& options) {
+  DTREC_TRACE_SPAN("run_comparison");
   const bool quiet = options.quiet;
   DTREC_CHECK(!seeds.empty());
 
@@ -106,11 +108,15 @@ std::vector<MethodResult> RunComparison(
         EnsureDir(run_dir);
       }
       Stopwatch watch;
-      const Status st = FitWithRetry(trainer.get(), datasets[s], options,
-                                     run_dir);
+      Status st;
+      {
+        DTREC_TRACE_SPAN("fit");
+        st = FitWithRetry(trainer.get(), datasets[s], options, run_dir);
+      }
       DTREC_CHECK(st.ok()) << method << ": " << st.ToString();
       train_times.push_back(watch.ElapsedSeconds());
 
+      DTREC_TRACE_SPAN("evaluate");
       const RankingMetrics metrics =
           EvaluateRanking(*trainer, datasets[s], profile.ranking_k,
                           profile.positive_threshold);

@@ -1,0 +1,114 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtrec::obs {
+
+Histogram::Histogram() { Reset(); }
+
+double Histogram::BucketUpper(size_t i) {
+  return std::pow(1.25, static_cast<double>(i));
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (value <= 1.0) return 0;
+  // i = ceil(log_1.25(value)), clamped to the table.
+  const size_t i =
+      static_cast<size_t>(std::ceil(std::log(value) / std::log(1.25)));
+  return std::min(i, kNumBuckets - 1);
+}
+
+void Histogram::Record(double value) {
+  value = std::max(value, 0.0);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t milli = static_cast<uint64_t>(value * 1e3);
+  sum_milli_.fetch_add(milli, std::memory_order_relaxed);
+  uint64_t seen = max_milli_.load(std::memory_order_relaxed);
+  while (milli > seen && !max_milli_.compare_exchange_weak(
+                             seen, milli, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum_milli = sum_milli_.load(std::memory_order_relaxed);
+  snapshot.max_milli = max_milli_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+Histogram::Snapshot Histogram::Snapshot::DeltaSince(
+    const Snapshot& earlier) const {
+  Snapshot delta;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    delta.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  delta.count = count - earlier.count;
+  delta.sum_milli = sum_milli - earlier.sum_milli;
+  delta.max_milli = max_milli;
+  return delta;
+}
+
+Histogram::Summary Histogram::Summarize(const Snapshot& snapshot) {
+  Summary summary;
+  summary.count = snapshot.count;
+  if (summary.count == 0) return summary;
+  summary.mean_us = static_cast<double>(snapshot.sum_milli) / 1e3 /
+                    static_cast<double>(summary.count);
+  summary.max_us = static_cast<double>(snapshot.max_milli) / 1e3;
+
+  uint64_t total = 0;
+  for (const uint64_t c : snapshot.buckets) total += c;
+  const auto percentile = [&snapshot, total](double p) {
+    const double target = p * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (snapshot.buckets[i] == 0) continue;
+      const double before = static_cast<double>(cum);
+      cum += snapshot.buckets[i];
+      if (static_cast<double>(cum) >= target) {
+        const double lower = i == 0 ? 0.0 : BucketUpper(i - 1);
+        const double upper = BucketUpper(i);
+        const double frac = std::clamp(
+            (target - before) / static_cast<double>(snapshot.buckets[i]), 0.0,
+            1.0);
+        return lower + frac * (upper - lower);
+      }
+    }
+    return BucketUpper(kNumBuckets - 1);
+  };
+  summary.p50_us = percentile(0.50);
+  summary.p95_us = percentile(0.95);
+  summary.p99_us = percentile(0.99);
+  return summary;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  const Snapshot snapshot = other.TakeSnapshot();
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (snapshot.buckets[i] != 0) {
+      buckets_[i].fetch_add(snapshot.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  sum_milli_.fetch_add(snapshot.sum_milli, std::memory_order_relaxed);
+  uint64_t seen = max_milli_.load(std::memory_order_relaxed);
+  while (snapshot.max_milli > seen &&
+         !max_milli_.compare_exchange_weak(seen, snapshot.max_milli,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_milli_.store(0, std::memory_order_relaxed);
+  max_milli_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dtrec::obs

@@ -1,0 +1,83 @@
+#ifndef DTREC_OBS_HISTOGRAM_H_
+#define DTREC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dtrec::obs {
+
+/// Lock-free geometric histogram for non-negative samples.
+///
+/// Fixed geometric buckets (factor 1.25 starting at 1, 96 of them — covers
+/// 1 to ~2e9 at ≤12.5% relative error per bucket, which is plenty for
+/// p50/p95/p99 reporting). Record() is a couple of relaxed atomic
+/// increments, safe to call from every worker concurrently; Summarize()
+/// reads a consistent-enough snapshot for monitoring.
+///
+/// The histogram is unit-agnostic; the serving subsystem records
+/// microseconds, which is where the `_us` suffixes in Summary come from
+/// (kept for source compatibility with the original
+/// serve::LatencyHistogram).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 96;
+
+  Histogram();
+
+  /// Records one observation of `value` (clamped to [0, last bucket]).
+  void Record(double value);
+
+  /// A point-in-time copy of every atomic, loaded once. Plain data: safe
+  /// to copy, diff against an earlier snapshot, or summarize without
+  /// re-reading the live atomics (so count and sum can never tear against
+  /// each other mid-computation).
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum_milli = 0;  ///< Σ value × 1e3, integral (no FP atomics)
+    uint64_t max_milli = 0;
+
+    /// Counter-wise difference vs. an `earlier` snapshot of the same
+    /// histogram (no Reset in between). `max_milli` is not diffable from
+    /// counts alone, so the later snapshot's max is kept as an upper
+    /// bound on the interval max.
+    Snapshot DeltaSince(const Snapshot& earlier) const;
+  };
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  /// Percentiles are interpolated within the containing bucket.
+  static Summary Summarize(const Snapshot& snapshot);
+  Summary Summarize() const { return Summarize(TakeSnapshot()); }
+
+  /// Folds every count of `other` into this histogram (relaxed adds; both
+  /// sides may keep recording concurrently). Used to aggregate per-shard
+  /// or per-thread histograms into one export.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+ private:
+  /// Upper bound of bucket i: 1.25^i.
+  static double BucketUpper(size_t i);
+  static size_t BucketIndex(double value);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_milli_{0};
+  std::atomic<uint64_t> max_milli_{0};
+};
+
+}  // namespace dtrec::obs
+
+#endif  // DTREC_OBS_HISTOGRAM_H_

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/prop_stats.h"
+#include "util/string_util.h"
+
+namespace dtrec::obs {
+
+namespace internal {
+std::atomic<uint64_t> g_propensity_clip_total{0};
+std::atomic<uint64_t> g_propensity_clip_fired{0};
+}  // namespace internal
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Inf/NaN literals; a gauge holding one would corrupt the
+/// whole exposition, so non-finite values export as 0.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[name];
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << name << " " << counter.Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << name << " " << FormatDouble(gauge.Value(), 6) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Summary s = hist.Summarize();
+    os << name << " count=" << s.count
+       << StrFormat(" mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+                    s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"schema\": \"dtrec-metrics-v1\", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << counter.Value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << JsonNumber(gauge.Value());
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    const Histogram::Summary s = hist.Summarize();
+    os << "\"" << JsonEscape(name) << "\": {\"count\": " << s.count
+       << ", \"mean\": " << JsonNumber(s.mean_us)
+       << ", \"p50\": " << JsonNumber(s.p50_us)
+       << ", \"p95\": " << JsonNumber(s.p95_us)
+       << ", \"p99\": " << JsonNumber(s.p99_us)
+       << ", \"max\": " << JsonNumber(s.max_us) << "}";
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) entry.second.Reset();
+  for (auto& entry : histograms_) entry.second.Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void PublishPropensityClipStats(MetricsRegistry* registry) {
+  const PropensityClipSnapshot snapshot = GetPropensityClipSnapshot();
+  registry->GetCounter("propensity.clip.total")->Set(snapshot.total);
+  registry->GetCounter("propensity.clip.fired")->Set(snapshot.fired);
+  registry->GetGauge("propensity.clip.rate")->Set(snapshot.rate());
+}
+
+}  // namespace dtrec::obs

@@ -1,0 +1,85 @@
+#ifndef DTREC_OBS_METRICS_H_
+#define DTREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace dtrec::obs {
+
+/// Monotonic event counter. Increment() is one relaxed fetch_add — safe
+/// and cheap on every hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Overwrites the value (for mirroring an externally-maintained counter
+  /// into the registry, e.g. the process-wide propensity clip totals).
+  void Set(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, generation, …).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Named metric registry: the single export path for serving and training
+/// telemetry.
+///
+/// Get*() registers on first use and returns a pointer that stays valid
+/// for the registry's lifetime (std::map nodes are stable), so callers
+/// resolve a metric once and then touch only its relaxed atomics —
+/// the registration mutex is never on a hot path. Metric names are
+/// dot-separated, prefix first: "serve.requests", "train.epochs".
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Human-readable dump, one "name value" / histogram-summary line per
+  /// metric, sorted by name.
+  std::string DumpText() const;
+
+  /// Machine-readable exposition:
+  ///   {"schema": "dtrec-metrics-v1",
+  ///    "counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count","mean","p50","p95","p99","max"}}}
+  std::string DumpJson() const;
+
+  /// Zeroes every registered counter and histogram (gauges keep their
+  /// last value). Registration is preserved: outstanding pointers remain
+  /// valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry (serving stats, CLI exports).
+MetricsRegistry& GlobalMetrics();
+
+/// Mirrors the process-wide propensity-clip counters (obs/prop_stats.h)
+/// into `registry` as "propensity.clip.total" / "propensity.clip.fired".
+/// Call before DumpText/DumpJson so exports include the clip rate.
+void PublishPropensityClipStats(MetricsRegistry* registry);
+
+}  // namespace dtrec::obs
+
+#endif  // DTREC_OBS_METRICS_H_

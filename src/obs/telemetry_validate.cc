@@ -1,0 +1,357 @@
+#include "obs/telemetry_validate.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace dtrec::obs {
+namespace {
+
+/// Minimal recursive-descent JSON checker (same shape as the one in
+/// bench/bench_common.h, which src/ cannot include): verifies
+/// well-formedness and lets the schema validators walk the document.
+struct JsonCursor {
+  const std::string& s;
+  size_t i = 0;
+  bool ok = true;
+
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+  bool AtEnd() {
+    SkipWs();
+    return i >= s.size();
+  }
+  std::string ParseString() {
+    if (!Eat('"')) return "";
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out += s[i++];
+    }
+    if (!Eat('"')) ok = false;
+    return out;
+  }
+  double ParseNumber() {
+    SkipWs();
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) {
+      ok = false;
+      return 0.0;
+    }
+    i = static_cast<size_t>(end - s.c_str());
+    return v;
+  }
+  void SkipValue();  // forward-declared, mutually recursive
+
+  template <typename Fn>
+  void ParseObject(Fn&& fn) {
+    if (!Eat('{')) return;
+    if (Peek('}')) {
+      Eat('}');
+      return;
+    }
+    while (ok) {
+      const std::string key = ParseString();
+      if (!Eat(':')) return;
+      fn(key);
+      if (Peek(',')) {
+        Eat(',');
+        continue;
+      }
+      Eat('}');
+      return;
+    }
+  }
+};
+
+void JsonCursor::SkipValue() {
+  SkipWs();
+  if (i >= s.size()) {
+    ok = false;
+    return;
+  }
+  const char c = s[i];
+  if (c == '"') {
+    ParseString();
+  } else if (c == '{') {
+    ParseObject([this](const std::string&) { SkipValue(); });
+  } else if (c == '[') {
+    Eat('[');
+    if (Peek(']')) {
+      Eat(']');
+      return;
+    }
+    while (ok) {
+      SkipValue();
+      if (Peek(',')) {
+        Eat(',');
+        continue;
+      }
+      Eat(']');
+      return;
+    }
+  } else if (s.compare(i, 4, "true") == 0) {
+    i += 4;
+  } else if (s.compare(i, 5, "false") == 0) {
+    i += 5;
+  } else if (s.compare(i, 4, "null") == 0) {
+    i += 4;
+  } else {
+    ParseNumber();
+  }
+}
+
+std::vector<std::string> SplitNonEmptyLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      if (!cur.empty()) lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+Status ValidateTraceJson(const std::string& content, size_t* num_events,
+                         std::set<std::string>* span_names) {
+  JsonCursor cur{content};
+  bool saw_events_array = false;
+  size_t events = 0;
+  std::string error;
+  std::set<std::string> names;
+
+  cur.ParseObject([&](const std::string& key) {
+    if (key != "traceEvents") {
+      cur.SkipValue();
+      return;
+    }
+    saw_events_array = true;
+    if (!cur.Eat('[')) return;
+    if (cur.Peek(']')) {
+      cur.Eat(']');
+      return;
+    }
+    while (cur.ok) {
+      std::string name, ph;
+      bool has_ts = false, has_dur = false, has_pid = false, has_tid = false;
+      double ts = -1.0, dur = -1.0;
+      cur.ParseObject([&](const std::string& ek) {
+        if (ek == "name") {
+          name = cur.ParseString();
+        } else if (ek == "ph") {
+          ph = cur.ParseString();
+        } else if (ek == "ts") {
+          ts = cur.ParseNumber();
+          has_ts = true;
+        } else if (ek == "dur") {
+          dur = cur.ParseNumber();
+          has_dur = true;
+        } else if (ek == "pid") {
+          cur.ParseNumber();
+          has_pid = true;
+        } else if (ek == "tid") {
+          cur.ParseNumber();
+          has_tid = true;
+        } else {
+          cur.SkipValue();
+        }
+      });
+      if (error.empty()) {
+        if (name.empty()) {
+          error = "traceEvents[" + std::to_string(events) + "] has no name";
+        } else if (ph != "X") {
+          error = "traceEvents[" + std::to_string(events) + "] ('" + name +
+                  "') ph is '" + ph + "', expected complete event 'X'";
+        } else if (!has_ts || !has_dur || ts < 0.0 || dur < 0.0) {
+          error = "traceEvents[" + std::to_string(events) + "] ('" + name +
+                  "') needs non-negative ts and dur";
+        } else if (!has_pid || !has_tid) {
+          error = "traceEvents[" + std::to_string(events) + "] ('" + name +
+                  "') needs pid and tid";
+        }
+      }
+      names.insert(name);
+      ++events;
+      if (cur.Peek(',')) {
+        cur.Eat(',');
+        continue;
+      }
+      cur.Eat(']');
+      return;
+    }
+  });
+
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("malformed trace JSON");
+  }
+  if (!saw_events_array) {
+    return Status::InvalidArgument("trace JSON has no traceEvents array");
+  }
+  if (!error.empty()) return Status::InvalidArgument(error);
+  if (num_events != nullptr) *num_events = events;
+  if (span_names != nullptr) *span_names = names;
+  return Status::OK();
+}
+
+Status ValidateTrainEventsJsonl(const std::string& content,
+                                size_t* num_records,
+                                std::set<std::string>* loss_keys) {
+  const std::vector<std::string> lines = SplitNonEmptyLines(content);
+  if (lines.empty()) {
+    return Status::InvalidArgument("event stream is empty");
+  }
+  std::set<std::string> keys;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    JsonCursor cur{lines[ln]};
+    std::string schema, method;
+    bool has_epoch = false, has_steps = false, has_losses = false;
+    bool has_grad_norm = false, has_cursor = false;
+    double wall_s = -1.0;
+    bool clip_total = false, clip_fired = false, clip_rate = false;
+    bool saw_clip = false;
+
+    cur.ParseObject([&](const std::string& key) {
+      if (key == "schema") {
+        schema = cur.ParseString();
+      } else if (key == "method") {
+        method = cur.ParseString();
+      } else if (key == "epoch") {
+        has_epoch = cur.ParseNumber() >= 0.0;
+      } else if (key == "steps") {
+        has_steps = cur.ParseNumber() >= 0.0;
+      } else if (key == "wall_s") {
+        wall_s = cur.ParseNumber();
+      } else if (key == "grad_norm") {
+        cur.ParseNumber();
+        has_grad_norm = true;
+      } else if (key == "losses") {
+        has_losses = true;
+        cur.ParseObject([&](const std::string& lk) {
+          keys.insert(lk);
+          cur.ParseNumber();
+        });
+      } else if (key == "propensity_clip") {
+        saw_clip = true;
+        cur.ParseObject([&](const std::string& ck) {
+          if (ck == "total") clip_total = true;
+          if (ck == "fired") clip_fired = true;
+          if (ck == "rate") clip_rate = true;
+          cur.ParseNumber();
+        });
+      } else if (key == "rng_cursor") {
+        has_cursor = !cur.ParseString().empty();
+      } else {
+        cur.SkipValue();
+      }
+    });
+
+    const std::string where = "line " + std::to_string(ln + 1);
+    if (!cur.ok || !cur.AtEnd()) {
+      return Status::InvalidArgument(where + ": malformed JSON record");
+    }
+    if (schema != "dtrec-train-events-v1") {
+      return Status::InvalidArgument(where + ": schema tag is '" + schema +
+                                     "', expected 'dtrec-train-events-v1'");
+    }
+    if (method.empty()) {
+      return Status::InvalidArgument(where + ": missing method");
+    }
+    if (!has_epoch || !has_steps || wall_s < 0.0 || !has_grad_norm) {
+      return Status::InvalidArgument(
+          where + ": needs numeric epoch/steps/wall_s/grad_norm");
+    }
+    if (!has_losses) {
+      return Status::InvalidArgument(where + ": missing losses object");
+    }
+    if (!saw_clip || !clip_total || !clip_fired || !clip_rate) {
+      return Status::InvalidArgument(
+          where + ": propensity_clip needs total/fired/rate");
+    }
+    if (!has_cursor) {
+      return Status::InvalidArgument(where + ": missing rng_cursor");
+    }
+  }
+  if (num_records != nullptr) *num_records = lines.size();
+  if (loss_keys != nullptr) *loss_keys = keys;
+  return Status::OK();
+}
+
+Status ValidateMetricsJson(const std::string& content) {
+  JsonCursor cur{content};
+  std::string schema;
+  bool saw_counters = false, saw_gauges = false, saw_histograms = false;
+  std::string error;
+
+  cur.ParseObject([&](const std::string& key) {
+    if (key == "schema") {
+      schema = cur.ParseString();
+    } else if (key == "counters") {
+      saw_counters = true;
+      cur.ParseObject([&](const std::string&) { cur.ParseNumber(); });
+    } else if (key == "gauges") {
+      saw_gauges = true;
+      cur.ParseObject([&](const std::string&) { cur.ParseNumber(); });
+    } else if (key == "histograms") {
+      saw_histograms = true;
+      cur.ParseObject([&](const std::string& hist_name) {
+        bool count = false, mean = false, p50 = false, p95 = false,
+             p99 = false, max = false;
+        cur.ParseObject([&](const std::string& hk) {
+          if (hk == "count") count = true;
+          if (hk == "mean") mean = true;
+          if (hk == "p50") p50 = true;
+          if (hk == "p95") p95 = true;
+          if (hk == "p99") p99 = true;
+          if (hk == "max") max = true;
+          cur.ParseNumber();
+        });
+        if (error.empty() &&
+            !(count && mean && p50 && p95 && p99 && max)) {
+          error = "histogram '" + hist_name +
+                  "' needs count/mean/p50/p95/p99/max";
+        }
+      });
+    } else {
+      cur.SkipValue();
+    }
+  });
+
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("malformed metrics JSON");
+  }
+  if (schema != "dtrec-metrics-v1") {
+    return Status::InvalidArgument("schema tag is '" + schema +
+                                   "', expected 'dtrec-metrics-v1'");
+  }
+  if (!saw_counters || !saw_gauges || !saw_histograms) {
+    return Status::InvalidArgument(
+        "metrics JSON needs counters/gauges/histograms objects");
+  }
+  if (!error.empty()) return Status::InvalidArgument(error);
+  return Status::OK();
+}
+
+}  // namespace dtrec::obs

@@ -1,0 +1,43 @@
+#ifndef DTREC_OBS_TELEMETRY_VALIDATE_H_
+#define DTREC_OBS_TELEMETRY_VALIDATE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "util/status.h"
+
+// Structural validators for the three telemetry artifacts (trace JSON,
+// training-event JSONL, metrics JSON). Same recursive-descent-checker
+// idiom as bench_common.h's kernel-bench validator: verify shape and
+// required keys, not values. Wired into CI through `dtrec_cli validate`
+// so an emitted artifact that chrome://tracing or a JSONL consumer would
+// choke on fails the pipeline instead of shipping.
+
+namespace dtrec::obs {
+
+/// Chrome trace_event JSON: top-level object with a "traceEvents" array
+/// whose entries carry a non-empty "name", "ph": "X", and numeric
+/// ts/dur/pid/tid. Outputs (optional, may be null): the event count and
+/// the set of distinct span names — callers assert on required stages.
+Status ValidateTraceJson(const std::string& content,
+                         size_t* num_events = nullptr,
+                         std::set<std::string>* span_names = nullptr);
+
+/// Training event stream: ≥1 JSONL line, each a "dtrec-train-events-v1"
+/// record with a non-empty method, numeric epoch/steps/wall_s/grad_norm,
+/// a "losses" object, a "propensity_clip" object carrying
+/// total/fired/rate, and an "rng_cursor". A torn final line (crashed
+/// writer) is rejected. Outputs (optional): record count and the union
+/// of loss-component names seen.
+Status ValidateTrainEventsJsonl(const std::string& content,
+                                size_t* num_records = nullptr,
+                                std::set<std::string>* loss_keys = nullptr);
+
+/// Metrics exposition: "dtrec-metrics-v1" with counters/gauges/histograms
+/// objects; every histogram entry carries count/mean/p50/p95/p99/max.
+Status ValidateMetricsJson(const std::string& content);
+
+}  // namespace dtrec::obs
+
+#endif  // DTREC_OBS_TELEMETRY_VALIDATE_H_

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/string_util.h"
+
+namespace dtrec::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t begin_ns = 0;
+  uint64_t duration_ns = 0;
+};
+
+/// Bounds memory per thread; the ring keeps the newest spans (a stuck run
+/// is diagnosed from its tail, not its preamble).
+constexpr size_t kMaxEventsPerThread = 1 << 16;
+
+/// One buffer per recording thread, each with its own mutex. Record()
+/// takes an uncontended lock (only a concurrent flush ever competes for
+/// it), which keeps recording cheap and the flush race TSan-clean.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t next = 0;  ///< overwrite cursor once the ring is full
+  uint64_t dropped = 0;
+  uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  /// shared_ptrs keep buffers alive past thread exit, so spans recorded by
+  /// a worker survive until the flush after its pool shuts down.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+TraceState& State() {
+  static TraceState state;
+  return state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = state.next_tid++;
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t MonotonicNanos() {
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t begin_ns, uint64_t duration_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() < kMaxEventsPerThread) {
+    buffer.events.push_back({name, begin_ns, duration_ns});
+  } else {
+    buffer.events[buffer.next] = {name, begin_ns, duration_ns};
+    buffer.next = (buffer.next + 1) % kMaxEventsPerThread;
+    ++buffer.dropped;
+  }
+}
+
+}  // namespace internal
+
+void EnableTracing() {
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::string FlushTraceJson() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+
+  uint64_t dropped = 0;
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", ";
+  std::ostringstream events;
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> copy;
+    uint32_t tid = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      tid = buffer->tid;
+      dropped += buffer->dropped;
+      copy.reserve(buffer->events.size());
+      // Ring order: oldest surviving event first.
+      for (size_t i = 0; i < buffer->events.size(); ++i) {
+        copy.push_back(
+            buffer->events[(buffer->next + i) % buffer->events.size()]);
+      }
+    }
+    for (const TraceEvent& e : copy) {
+      if (!first) events << ",\n";
+      first = false;
+      events << StrFormat(
+          "{\"name\": \"%s\", \"cat\": \"dtrec\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+          e.name, static_cast<double>(e.begin_ns) / 1e3,
+          static_cast<double>(e.duration_ns) / 1e3, tid);
+    }
+  }
+  os << "\"droppedEvents\": " << dropped << ", \"traceEvents\": [\n"
+     << events.str() << "\n]}\n";
+  return os.str();
+}
+
+Status WriteTraceJson(const std::string& path) {
+  return WriteFileAtomic(path, FlushTraceJson());
+}
+
+}  // namespace dtrec::obs

@@ -1,0 +1,102 @@
+#ifndef DTREC_OBS_TRACE_H_
+#define DTREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+// Scoped trace spans, flushed as Chrome trace_event JSON.
+//
+// Usage — one macro at the top of the scope to time:
+//
+//   void TrainStep(...) {
+//     DTREC_TRACE_SPAN("train_step");
+//     ...
+//   }
+//
+// Spans record (name, begin, duration) into per-thread ring buffers;
+// FlushTraceJson()/WriteTraceJson() render every buffered span as a
+// complete event ("ph":"X") in the Chrome trace_event format, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost model: recording is OFF by default — an unarmed span site is one
+// relaxed atomic load. EnableTracing() arms every site process-wide
+// (dtrec_cli/dtrec_serve arm it when --trace-out is passed). Building with
+// -DDTREC_TRACING=OFF compiles every span site to nothing at all, for
+// benchmark builds whose numbers are reported.
+
+namespace dtrec::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Nanoseconds on the steady clock since process start.
+uint64_t MonotonicNanos();
+
+/// Appends one complete span to the calling thread's ring buffer. The
+/// `name` pointer must stay valid until the next flush/clear — span names
+/// are string literals by convention.
+void RecordSpan(const char* name, uint64_t begin_ns, uint64_t duration_ns);
+}  // namespace internal
+
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing();
+void DisableTracing();
+
+/// Drops every buffered span (the buffers themselves stay registered).
+void ClearTrace();
+
+/// Renders every buffered span as Chrome trace_event JSON:
+///   {"displayTimeUnit": "ms", "droppedEvents": N, "traceEvents": [
+///     {"name": "...", "cat": "dtrec", "ph": "X",
+///      "ts": <µs>, "dur": <µs>, "pid": 1, "tid": <n>}, ...]}
+/// Safe to call while other threads keep recording.
+std::string FlushTraceJson();
+
+/// FlushTraceJson() committed crash-atomically to `path`.
+Status WriteTraceJson(const std::string& path);
+
+/// RAII recorder behind DTREC_TRACE_SPAN. A span constructed while tracing
+/// is disabled stays inert even if tracing is enabled before it closes
+/// (its begin timestamp was never taken).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      begin_ns_ = internal::MonotonicNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, begin_ns_,
+                           internal::MonotonicNanos() - begin_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t begin_ns_ = 0;
+};
+
+}  // namespace dtrec::obs
+
+#if defined(DTREC_TRACING_ENABLED)
+#define DTREC_TRACE_SPAN_CONCAT_INNER(a, b) a##b
+#define DTREC_TRACE_SPAN_CONCAT(a, b) DTREC_TRACE_SPAN_CONCAT_INNER(a, b)
+#define DTREC_TRACE_SPAN(name)                                      \
+  ::dtrec::obs::TraceSpan DTREC_TRACE_SPAN_CONCAT(dtrec_trace_span_, \
+                                                  __LINE__)(name)
+#else
+#define DTREC_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // DTREC_OBS_TRACE_H_

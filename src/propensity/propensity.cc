@@ -1,5 +1,6 @@
 #include "propensity/propensity.h"
 
+#include "obs/prop_stats.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/numeric_guard.h"
@@ -8,6 +9,9 @@ namespace dtrec {
 
 double ClipPropensity(double p, double min_p) {
   DTREC_CHECK_GT(min_p, 0.0);
+  // `fired` = below the floor (the variance failure mode the clip rate
+  // tracks); the benign clamp toward 1 from above does not count.
+  obs::RecordPropensityClip(/*fired=*/p < min_p);
   return Clamp(p, min_p, 1.0);
 }
 

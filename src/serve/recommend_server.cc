@@ -1,23 +1,82 @@
 #include "serve/recommend_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace dtrec::serve {
 
+namespace {
+
+obs::MetricsRegistry* OrGlobal(obs::MetricsRegistry* metrics) {
+  return metrics != nullptr ? metrics : &obs::GlobalMetrics();
+}
+
+}  // namespace
+
 RecommendServer::RecommendServer(const ModelRegistry* registry,
                                  ServerConfig config)
     : registry_(registry),
-      config_(config),
-      scorer_(config.cache),
-      pool_(config.num_threads, config.max_queue) {
+      config_(std::move(config)),
+      scorer_(config_.cache),
+      metrics_(OrGlobal(config_.metrics)),
+      requests_(metrics_->GetCounter(config_.metrics_prefix + ".requests")),
+      degraded_(metrics_->GetCounter(config_.metrics_prefix + ".degraded")),
+      shed_(metrics_->GetCounter(config_.metrics_prefix + ".shed")),
+      cache_hits_(
+          metrics_->GetCounter(config_.metrics_prefix + ".cache_hits")),
+      cache_misses_(
+          metrics_->GetCounter(config_.metrics_prefix + ".cache_misses")),
+      swaps_(metrics_->GetCounter(config_.metrics_prefix + ".model_swaps")),
+      generation_(metrics_->GetGauge(config_.metrics_prefix + ".generation")),
+      queue_hist_(
+          metrics_->GetHistogram(config_.metrics_prefix + ".queue_us")),
+      score_hist_(
+          metrics_->GetHistogram(config_.metrics_prefix + ".score_us")),
+      total_hist_(
+          metrics_->GetHistogram(config_.metrics_prefix + ".total_us")),
+      pool_(config_.num_threads, config_.max_queue) {
   DTREC_CHECK(registry != nullptr);
+  // A fresh server owns its metric prefix and starts from zero — a prior
+  // (dead) server with the same prefix must not leak counts into this
+  // one's stats. Two live servers therefore need distinct prefixes.
+  ResetStats();
+  if (config_.stats_dump_period_s > 0.0) {
+    dump_thread_ = std::thread([this] { StatsDumpLoop(); });
+  }
 }
 
-RecommendServer::~RecommendServer() { pool_.Shutdown(); }
+RecommendServer::~RecommendServer() {
+  if (dump_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu_);
+      stop_dump_ = true;
+    }
+    dump_cv_.notify_all();
+    dump_thread_.join();
+  }
+  pool_.Shutdown();
+}
+
+void RecommendServer::StatsDumpLoop() {
+  const auto period = std::chrono::duration<double>(
+      config_.stats_dump_period_s);
+  std::unique_lock<std::mutex> lock(dump_mu_);
+  while (!stop_dump_) {
+    if (dump_cv_.wait_for(lock, period, [this] { return stop_dump_; })) {
+      break;
+    }
+    // Snapshot() touches only registry metrics and the model registry —
+    // safe without dump_mu_, but holding it is fine (nothing else blocks
+    // on it except shutdown).
+    DTREC_LOG(INFO) << "[" << config_.metrics_prefix << "] "
+                    << Snapshot().Summary();
+  }
+}
 
 std::future<Recommendation> RecommendServer::Submit(
     const RecommendRequest& request) {
@@ -45,6 +104,7 @@ Recommendation RecommendServer::Recommend(const RecommendRequest& request) {
 
 Recommendation RecommendServer::Handle(const RecommendRequest& request,
                                        double waited_us, bool shed) {
+  DTREC_TRACE_SPAN("serve_handle");
   const Stopwatch handle_watch;
   Recommendation response;
   response.queue_us = waited_us;
@@ -60,7 +120,8 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
   if (seen != generation &&
       seen_generation_.compare_exchange_strong(seen, generation,
                                                std::memory_order_acq_rel)) {
-    if (seen != 0) swaps_.fetch_add(1, std::memory_order_relaxed);
+    if (seen != 0) swaps_->Increment();
+    generation_->Set(static_cast<double>(generation));
     scorer_.InvalidateAll();
   }
   response.generation = generation;
@@ -76,6 +137,7 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
   if (shed || (deadline_ms >= 0 && waited_us >= deadline_ms * 1e3)) {
     // Budget burned in the queue: serve the precomputed popularity
     // ranking instead of burning more time on a full scoring pass.
+    DTREC_TRACE_SPAN("serve_degraded");
     response.degraded = true;
     response.shed = shed;
     const auto& ranking = model->popularity_ranking();
@@ -85,52 +147,53 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
           {ranking[i], model->popularity(ranking[i])});
     }
   } else {
+    DTREC_TRACE_SPAN("serve_score");
     response.items = scorer_.TopK(*model, request.user, k,
                                   &response.cache_hit);
   }
   response.score_us = stage_watch.ElapsedMicros();
   response.total_us = waited_us + handle_watch.ElapsedMicros();
 
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Increment();
   if (response.degraded) {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-    if (response.shed) shed_.fetch_add(1, std::memory_order_relaxed);
+    degraded_->Increment();
+    if (response.shed) shed_->Increment();
   } else if (response.cache_hit) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_hits_->Increment();
   } else {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_misses_->Increment();
   }
-  queue_hist_.Record(response.queue_us);
-  score_hist_.Record(response.score_us);
-  total_hist_.Record(response.total_us);
+  queue_hist_->Record(response.queue_us);
+  score_hist_->Record(response.score_us);
+  total_hist_->Record(response.total_us);
   return response;
 }
 
 ServerStats RecommendServer::Snapshot() const {
   ServerStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.degraded = degraded_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  stats.model_swaps = swaps_.load(std::memory_order_relaxed);
+  stats.requests = requests_->Value();
+  stats.degraded = degraded_->Value();
+  stats.shed = shed_->Value();
+  stats.cache_hits = cache_hits_->Value();
+  stats.cache_misses = cache_misses_->Value();
+  stats.model_swaps = swaps_->Value();
   stats.generation = registry_->generation();
-  stats.queue_us = queue_hist_.Summarize();
-  stats.score_us = score_hist_.Summarize();
-  stats.total_us = total_hist_.Summarize();
+  stats.queue_us = queue_hist_->Summarize();
+  stats.score_us = score_hist_->Summarize();
+  stats.total_us = total_hist_->Summarize();
   return stats;
 }
 
 void RecommendServer::ResetStats() {
-  requests_.store(0, std::memory_order_relaxed);
-  degraded_.store(0, std::memory_order_relaxed);
-  shed_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  cache_misses_.store(0, std::memory_order_relaxed);
-  swaps_.store(0, std::memory_order_relaxed);
-  queue_hist_.Reset();
-  score_hist_.Reset();
-  total_hist_.Reset();
+  requests_->Reset();
+  degraded_->Reset();
+  shed_->Reset();
+  cache_hits_->Reset();
+  cache_misses_->Reset();
+  swaps_->Reset();
+  queue_hist_->Reset();
+  score_hist_->Reset();
+  total_hist_->Reset();
 }
 
 }  // namespace dtrec::serve

@@ -2,11 +2,16 @@
 #define DTREC_SERVE_RECOMMEND_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/server_stats.h"
 #include "serve/topk_scorer.h"
@@ -30,6 +35,17 @@ struct ServerConfig {
   /// deterministic, used in tests); < 0 disables the deadline.
   double default_deadline_ms = 50.0;
   ScoreCacheConfig cache;  ///< cache.capacity = 0 disables the score cache
+  /// Registry backing the server's counters and latency histograms, so
+  /// serving shares the export path (DumpText/DumpJson) with the rest of
+  /// the process. Null → obs::GlobalMetrics().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Metric-name prefix, e.g. "serve" → "serve.requests". The constructor
+  /// zeroes the prefix's metrics (a fresh server starts its counters at
+  /// zero), so two *live* servers must not share a registry prefix.
+  std::string metrics_prefix = "serve";
+  /// Period of the background stats-dump thread logging Snapshot().
+  /// Summary() through DTREC_LOG(INFO). 0 disables the thread.
+  double stats_dump_period_s = 0.0;
 };
 
 struct RecommendRequest {
@@ -55,7 +71,7 @@ struct Recommendation {
 ///        │                        │
 ///   RecommendServer ──▶ ThreadPool workers ──▶ TopKScorer (+ LRU cache)
 ///        │                        │
-///        └──── ServerStats ◀── latency histograms / counters
+///        └──── MetricsRegistry ◀── latency histograms / counters
 ///
 /// Submit() enqueues onto the pool and returns a future; Recommend() is
 /// the synchronous in-thread path (used by the workers themselves, and
@@ -65,6 +81,11 @@ struct Recommendation {
 /// the score cache (stale entries are already unreachable — the cache is
 /// generation-checked — this just frees the memory and keeps hit-rate
 /// stats meaningful).
+///
+/// Counters and histograms live in the ServerConfig's MetricsRegistry
+/// under `metrics_prefix` (resolved once at construction; the hot path
+/// touches only their relaxed atomics), so `DumpJson()` on that registry
+/// exposes serving health next to training telemetry.
 class RecommendServer {
  public:
   /// `registry` must outlive the server and have at least one published
@@ -94,20 +115,30 @@ class RecommendServer {
   Recommendation Handle(const RecommendRequest& request, double waited_us,
                         bool shed = false);
 
+  void StatsDumpLoop();
+
   const ModelRegistry* const registry_;
   const ServerConfig config_;
   TopKScorer scorer_;
 
-  LatencyHistogram queue_hist_;
-  LatencyHistogram score_hist_;
-  LatencyHistogram total_hist_;
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> degraded_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> swaps_{0};
+  // Registry-owned metrics, resolved once under config_.metrics_prefix.
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const requests_;
+  obs::Counter* const degraded_;
+  obs::Counter* const shed_;
+  obs::Counter* const cache_hits_;
+  obs::Counter* const cache_misses_;
+  obs::Counter* const swaps_;
+  obs::Gauge* const generation_;
+  obs::Histogram* const queue_hist_;
+  obs::Histogram* const score_hist_;
+  obs::Histogram* const total_hist_;
   std::atomic<uint64_t> seen_generation_{0};
+
+  std::mutex dump_mu_;
+  std::condition_variable dump_cv_;
+  bool stop_dump_ = false;
+  std::thread dump_thread_;
 
   ThreadPool pool_;  // last member: workers must die before the stats
 };

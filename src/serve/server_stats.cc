@@ -1,81 +1,8 @@
 #include "serve/server_stats.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/string_util.h"
 
 namespace dtrec::serve {
-
-LatencyHistogram::LatencyHistogram() { Reset(); }
-
-double LatencyHistogram::BucketUpper(size_t i) {
-  return std::pow(1.25, static_cast<double>(i));
-}
-
-size_t LatencyHistogram::BucketIndex(double micros) {
-  if (micros <= 1.0) return 0;
-  // i = ceil(log_1.25(µs)), clamped to the table.
-  const size_t i =
-      static_cast<size_t>(std::ceil(std::log(micros) / std::log(1.25)));
-  return std::min(i, kNumBuckets - 1);
-}
-
-void LatencyHistogram::Record(double micros) {
-  micros = std::max(micros, 0.0);
-  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t ns = static_cast<uint64_t>(micros * 1e3);
-  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-  uint64_t seen = max_ns_.load(std::memory_order_relaxed);
-  while (ns > seen &&
-         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
-  }
-}
-
-LatencyHistogram::Summary LatencyHistogram::Summarize() const {
-  Summary summary;
-  summary.count = count_.load(std::memory_order_relaxed);
-  if (summary.count == 0) return summary;
-  summary.mean_us =
-      sum_ns_.load(std::memory_order_relaxed) / 1e3 / summary.count;
-  summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
-
-  uint64_t counts[kNumBuckets];
-  uint64_t total = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  const auto percentile = [&](double p) {
-    const double target = p * static_cast<double>(total);
-    uint64_t cum = 0;
-    for (size_t i = 0; i < kNumBuckets; ++i) {
-      if (counts[i] == 0) continue;
-      const double before = static_cast<double>(cum);
-      cum += counts[i];
-      if (static_cast<double>(cum) >= target) {
-        const double lower = i == 0 ? 0.0 : BucketUpper(i - 1);
-        const double upper = BucketUpper(i);
-        const double frac =
-            std::clamp((target - before) / counts[i], 0.0, 1.0);
-        return lower + frac * (upper - lower);
-      }
-    }
-    return BucketUpper(kNumBuckets - 1);
-  };
-  summary.p50_us = percentile(0.50);
-  summary.p95_us = percentile(0.95);
-  summary.p99_us = percentile(0.99);
-  return summary;
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_ns_.store(0, std::memory_order_relaxed);
-  max_ns_.store(0, std::memory_order_relaxed);
-}
 
 std::string ServerStats::Summary() const {
   return StrFormat(

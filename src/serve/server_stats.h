@@ -1,53 +1,19 @@
 #ifndef DTREC_SERVE_SERVER_STATS_H_
 #define DTREC_SERVE_SERVER_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
+
 namespace dtrec::serve {
 
-/// Lock-free latency histogram at microsecond resolution.
-///
-/// Fixed geometric buckets (factor 1.25 starting at 1µs, 96 of them —
-/// covers 1µs to ~20 minutes at ≤12.5% relative error per bucket, which
-/// is plenty for p50/p95/p99 reporting). Record() is a couple of relaxed
-/// atomic increments, safe to call from every worker concurrently;
-/// Summarize() reads a consistent-enough snapshot for monitoring.
-class LatencyHistogram {
- public:
-  static constexpr size_t kNumBuckets = 96;
-
-  LatencyHistogram();
-
-  /// Records one observation of `micros` (clamped to [0, last bucket]).
-  void Record(double micros);
-
-  struct Summary {
-    uint64_t count = 0;
-    double mean_us = 0.0;
-    double p50_us = 0.0;
-    double p95_us = 0.0;
-    double p99_us = 0.0;
-    double max_us = 0.0;
-  };
-
-  /// Percentiles are interpolated within the containing bucket.
-  Summary Summarize() const;
-
-  void Reset();
-
- private:
-  /// Upper bound (µs) of bucket i: 1.25^i.
-  static double BucketUpper(size_t i);
-  static size_t BucketIndex(double micros);
-
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_ns_{0};  // integral ns: atomic add, no FP atomics
-  std::atomic<uint64_t> max_ns_{0};
-};
+/// The serving latency histogram now lives in src/obs/ as the
+/// unit-agnostic obs::Histogram (same geometric buckets, plus Merge() and
+/// snapshot-diff), registered through obs::MetricsRegistry so serving and
+/// training share one export path. This alias keeps every existing
+/// serve:: call site and test source-compatible.
+using LatencyHistogram = ::dtrec::obs::Histogram;
 
 /// Point-in-time counters + per-stage latency summaries of a
 /// RecommendServer. A snapshot is plain data — safe to copy, print, or

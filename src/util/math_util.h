@@ -3,6 +3,8 @@
 
 #include <cmath>
 
+#include "obs/prop_stats.h"
+
 namespace dtrec {
 
 /// Numerically stable logistic sigmoid.
@@ -44,9 +46,14 @@ inline double BinaryCrossEntropy(double y, double p) {
 
 /// Safe reciprocal: 1 / max(v, floor). The blessed way to invert a learned
 /// propensity-like quantity (enforced by tools/dtrec_lint); the floor keeps
-/// the inverse finite when the estimate collapses toward zero.
+/// the inverse finite when the estimate collapses toward zero. Every call
+/// feeds the process-wide clip counters (obs/prop_stats.h) — the floored
+/// fraction is the extreme-inverse-propensity-variance early-warning
+/// signal exported via metrics and the training event stream.
 inline double SafeInverse(double v, double floor = 1e-12) {
-  return 1.0 / (v < floor ? floor : v);
+  const bool fired = v < floor;
+  obs::RecordPropensityClip(fired);
+  return 1.0 / (fired ? floor : v);
 }
 
 /// True if |a - b| <= atol + rtol * |b|.

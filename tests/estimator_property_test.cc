@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "experiments/oracle_bias.h"
+#include "obs/prop_stats.h"
 #include "synth/mnar_generator.h"
 #include "util/random.h"
 
@@ -221,6 +222,40 @@ TEST(EstimatorTest, NearZeroPropensityIsClippedToFiniteEstimate) {
   Matrix p_zero{{0.0, 1.0}};
   EXPECT_TRUE(std::isfinite(IpsEstimate(e, o, p_zero)));
   EXPECT_DOUBLE_EQ(IpsEstimate(e, o, p_zero), expected);
+}
+
+// The process-wide clip counters (obs/prop_stats.h) are the observable
+// behind the "propensity.clip" metrics and the per-epoch clip_rate in the
+// training event stream. Tests in this binary share the counters, so each
+// assertion works on a snapshot delta rather than absolute values.
+TEST(PropensityClipRateTest, OraclePropensityNeverFiresTheClip) {
+  const World world = MakeWorld(MissingMechanism::kMnar, 7);
+  Matrix o(world.errors.rows(), world.errors.cols());
+  for (size_t i = 0; i < o.size(); ++i) o.at_flat(i) = 1.0;
+  const obs::PropensityClipSnapshot before = obs::GetPropensityClipSnapshot();
+  const double ips = IpsEstimate(world.errors, o, world.mnar_propensity);
+  const obs::PropensityClipSnapshot delta =
+      obs::GetPropensityClipSnapshot().DeltaSince(before);
+  ASSERT_TRUE(std::isfinite(ips));
+  // Every cell passed through ClipPropensity, but the oracle propensities
+  // all live far above the 1e-6 floor: zero clips fired.
+  EXPECT_GE(delta.total, o.size());
+  EXPECT_EQ(delta.fired, 0u);
+  EXPECT_DOUBLE_EQ(delta.rate(), 0.0);
+}
+
+TEST(PropensityClipRateTest, CollapsedPropensityFiresTheClip) {
+  Matrix e{{1.0, 4.0}};
+  Matrix o{{1.0, 1.0}};
+  Matrix p{{1e-12, 1.0}};  // first entry far below the 1e-6 floor
+  const obs::PropensityClipSnapshot before = obs::GetPropensityClipSnapshot();
+  const double ips = IpsEstimate(e, o, p);
+  const obs::PropensityClipSnapshot delta =
+      obs::GetPropensityClipSnapshot().DeltaSince(before);
+  ASSERT_TRUE(std::isfinite(ips));
+  EXPECT_GE(delta.total, 2u);
+  EXPECT_GE(delta.fired, 1u);
+  EXPECT_GT(delta.rate(), 0.0);
 }
 
 }  // namespace

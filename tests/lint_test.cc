@@ -140,6 +140,48 @@ void Dump(const std::string& path) {
             0u);
 }
 
+TEST(LintRulesTest, RawStderrFlaggedOnlyInLibraryCode) {
+  const char* kLogger = R"FIX(
+void Warn(const char* msg) {
+  std::cerr << msg;
+  std::fprintf(stderr, "%s\n", msg);
+}
+)FIX";
+  // Library code must route through DTREC_LOG: one finding per raw use.
+  EXPECT_EQ(CountRule(LintContent("src/foo/warn.cc", kLogger),
+                      "raw-stderr-logging"),
+            2u);
+  // The logging backend itself is the blessed stderr writer...
+  EXPECT_EQ(CountRule(LintContent("src/util/logging.cc", kLogger),
+                      "raw-stderr-logging"),
+            0u);
+  // ...CLI mains under tools/ talk to their user directly...
+  EXPECT_EQ(CountRule(LintContent("tools/dtrec_cli.cc", kLogger),
+                      "raw-stderr-logging"),
+            0u);
+  // ...and tests are out of scope too.
+  EXPECT_EQ(CountRule(LintContent("tests/warn_test.cc", kLogger),
+                      "raw-stderr-logging"),
+            0u);
+  // `cerr` inside comments or strings is not code.
+  const char* kInert = R"FIX(
+// std::cerr is banned here; see lint.h
+const char* kHelp = "errors go to stderr";
+)FIX";
+  EXPECT_EQ(CountRule(LintContent("src/foo/help.cc", kInert),
+                      "raw-stderr-logging"),
+            0u);
+  // The usual allow-comment escape hatch works.
+  const char* kAllowed = R"FIX(
+void Warn(const char* msg) {
+  std::cerr << msg;  // dtrec-lint: allow(raw-stderr-logging)
+}
+)FIX";
+  EXPECT_EQ(CountRule(LintContent("src/foo/warn.cc", kAllowed),
+                      "raw-stderr-logging"),
+            0u);
+}
+
 // ------------------------------------------------------------- suppression
 
 TEST(LintSuppressionTest, TrailingAllowSilencesThatLine) {
@@ -285,7 +327,8 @@ TEST(LintReportTest, KnownRulesCoverEmittedRules) {
   const auto& known = KnownRules();
   for (const char* rule :
        {"propensity-division", "banned-rand", "naked-new", "include-guard",
-        "include-hygiene", "float-literal", "lint-usage"}) {
+        "include-hygiene", "float-literal", "raw-ofstream-write",
+        "raw-stderr-logging", "lint-usage"}) {
     EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
         << rule;
   }

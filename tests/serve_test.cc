@@ -6,10 +6,13 @@
 #include <future>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_validate.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
 #include "serve/server_stats.h"
@@ -504,6 +507,53 @@ TEST(RecommendServerTest, ResetStatsClearsCounters) {
   const ServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.requests, 0u);
   EXPECT_EQ(stats.total_us.count, 0u);
+}
+
+TEST(RecommendServerTest, StatsLiveInTheMetricsRegistry) {
+  // ServerStats is now a view over obs::MetricsRegistry counters — the
+  // same numbers must be visible through the registry's export path
+  // (names under the configured prefix), not just via Snapshot().
+  obs::MetricsRegistry metrics;
+  ModelRegistry registry;
+  registry.Publish(RandomModel(6, 24, 4, 3));
+  ServerConfig config = TestConfig(2);
+  config.metrics = &metrics;
+  config.metrics_prefix = "serve_parity";
+  RecommendServer server(&registry, config);
+  for (size_t r = 0; r < 40; ++r) server.Recommend({.user = r % 6});
+
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests, 40u);
+  EXPECT_EQ(metrics.GetCounter("serve_parity.requests")->Value(),
+            stats.requests);
+  EXPECT_EQ(metrics.GetCounter("serve_parity.cache_hits")->Value(),
+            stats.cache_hits);
+  EXPECT_EQ(metrics.GetCounter("serve_parity.cache_misses")->Value(),
+            stats.cache_misses);
+  EXPECT_EQ(metrics.GetHistogram("serve_parity.total_us")->Summarize().count,
+            stats.total_us.count);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("serve_parity.generation")->Value(), 1.0);
+
+  const std::string json = metrics.DumpJson();
+  EXPECT_TRUE(obs::ValidateMetricsJson(json).ok());
+  EXPECT_NE(json.find("\"serve_parity.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve_parity.total_us\""), std::string::npos);
+}
+
+TEST(RecommendServerTest, StatsDumpThreadStartsAndStopsCleanly) {
+  obs::MetricsRegistry metrics;
+  ModelRegistry registry;
+  registry.Publish(RandomModel(5, 20, 4, 2));
+  ServerConfig config = TestConfig(1);
+  config.metrics = &metrics;
+  config.metrics_prefix = "serve_dump";
+  config.stats_dump_period_s = 0.01;
+  {
+    RecommendServer server(&registry, config);
+    server.Recommend({.user = 0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(server.Snapshot().requests, 1u);
+  }  // destructor must join the dump thread without hanging
 }
 
 }  // namespace

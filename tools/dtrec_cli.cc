@@ -5,12 +5,23 @@
 //   dtrec_cli generate <coat|yahoo|kuairec|ml100k> <prefix> [key=value...]
 //   dtrec_cli diagnose <prefix>
 //   dtrec_cli train <method> <prefix> [--resume <dir>]
-//                   [--checkpoint-every <n>] [key=value...]
+//                   [--checkpoint-every <n>] [--metrics-out <path>]
+//                   [--trace-out <path>] [--events-out <path>] [key=value...]
 //   dtrec_cli compare <prefix> <method1,method2,...> [key=value...]
+//   dtrec_cli validate [--trace <path>] [--events <path>]
+//                      [--metrics <path>] [--require-spans <csv>]
+//                      [--require-losses <csv>]
 //   dtrec_cli methods
 //
 // Recognized key=value pairs: seed, scale, epochs, dim, batch_size, lr,
 // k, seeds (compare only).
+//
+// Telemetry (see src/obs/): `--trace-out` arms DTREC_TRACE_SPAN recording
+// and writes a Chrome trace_event JSON loadable in chrome://tracing or
+// Perfetto; `--events-out` streams one dtrec-train-events-v1 JSONL record
+// per epoch; `--metrics-out` dumps the global metrics registry as JSON.
+// `validate` structurally checks artifacts produced by those flags and
+// exits nonzero if any file is malformed or misses a required span/loss.
 //
 // `--resume <dir>` makes training crash-safe: a checkpoint is committed
 // atomically into <dir> every `--checkpoint-every` epochs (default 1),
@@ -27,6 +38,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "baselines/registry.h"
@@ -35,10 +47,14 @@
 #include "experiments/config.h"
 #include "experiments/evaluator.h"
 #include "experiments/runner.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_validate.h"
+#include "obs/trace.h"
 #include "synth/coat_like.h"
 #include "synth/kuairec_like.h"
 #include "synth/movielens_like.h"
 #include "synth/yahoo_like.h"
+#include "util/atomic_file.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 
@@ -57,6 +73,9 @@ constexpr int kExitInterrupted = 3;
 struct TrainFlags {
   std::string resume_dir;
   size_t checkpoint_every = 1;
+  std::string metrics_out;  ///< metrics-registry JSON dump path
+  std::string trace_out;    ///< Chrome trace_event JSON path (arms tracing)
+  std::string events_out;   ///< per-epoch JSONL event stream path
 };
 
 TrainFlags ExtractTrainFlags(int* argc, char** argv, int start) {
@@ -83,6 +102,12 @@ TrainFlags ExtractTrainFlags(int* argc, char** argv, int start) {
       flags.checkpoint_every =
           std::max<size_t>(1, static_cast<size_t>(
                                   std::strtoull(value.c_str(), nullptr, 10)));
+    } else if (take_value("--metrics-out", &value)) {
+      flags.metrics_out = value;
+    } else if (take_value("--trace-out", &value)) {
+      flags.trace_out = value;
+    } else if (take_value("--events-out", &value)) {
+      flags.events_out = value;
     } else {
       argv[out++] = argv[i];
     }
@@ -120,8 +145,12 @@ int Usage() {
       "  dtrec_cli generate <coat|yahoo|kuairec|ml100k> <prefix> [k=v...]\n"
       "  dtrec_cli diagnose <prefix>\n"
       "  dtrec_cli train <method> <prefix> [--resume <dir>]\n"
-      "            [--checkpoint-every <n>] [k=v...]\n"
+      "            [--checkpoint-every <n>] [--metrics-out <path>]\n"
+      "            [--trace-out <path>] [--events-out <path>] [k=v...]\n"
       "  dtrec_cli compare <prefix> <m1,m2,...> [k=v...]\n"
+      "  dtrec_cli validate [--trace <path>] [--events <path>]\n"
+      "            [--metrics <path>] [--require-spans <csv>]\n"
+      "            [--require-losses <csv>]\n"
       "  dtrec_cli methods\n");
   return 2;
 }
@@ -203,6 +232,8 @@ int RunTrain(int argc, char** argv) {
   options.checkpoint_dir = flags.resume_dir;
   options.checkpoint_every = flags.checkpoint_every;
   options.resume = !flags.resume_dir.empty();
+  options.events_path = flags.events_out;
+  if (!flags.trace_out.empty()) obs::EnableTracing();
   if (!flags.resume_dir.empty()) {
     // Best-effort two-level mkdir -p; an unwritable dir still surfaces
     // as a Status from the first checkpoint save.
@@ -214,8 +245,7 @@ int RunTrain(int argc, char** argv) {
   }
   Status st;
   try {
-    st = flags.resume_dir.empty() ? trainer->Fit(dataset.value())
-                                  : trainer->Fit(dataset.value(), options);
+    st = trainer->Fit(dataset.value(), options);
   } catch (const failpoint::FailpointAbort& abort) {
     std::fprintf(stderr,
                  "interrupted: %s\nre-run the same command to resume from "
@@ -231,7 +261,118 @@ int RunTrain(int argc, char** argv) {
   std::printf("%s: AUC=%.4f NDCG@%zu=%.4f Recall@%zu=%.4f (%zu params)\n",
               method.c_str(), metrics.auc, k, metrics.ndcg_at_k, k,
               metrics.recall_at_k, trainer->NumParameters());
+  if (!flags.trace_out.empty()) {
+    const Status trace_st = obs::WriteTraceJson(flags.trace_out);
+    if (!trace_st.ok()) return Fail(trace_st);
+  }
+  if (!flags.metrics_out.empty()) {
+    obs::PublishPropensityClipStats(&obs::GlobalMetrics());
+    const Status metrics_st =
+        WriteFileAtomic(flags.metrics_out, obs::GlobalMetrics().DumpJson());
+    if (!metrics_st.ok()) return Fail(metrics_st);
+  }
   return 0;
+}
+
+/// `dtrec_cli validate`: structural check of the telemetry artifacts the
+/// train command emits. Used by the CI telemetry smoke (tools/CMakeLists)
+/// so a malformed trace/event stream fails the build, not a human reader.
+int RunValidate(int argc, char** argv) {
+  std::string trace_path, events_path, metrics_path;
+  std::string require_spans, require_losses;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_value = [&](const std::string& name,
+                          std::string* value) -> bool {
+      if (arg == name && i + 1 < argc) {
+        *value = argv[++i];
+        return true;
+      }
+      if (arg.rfind(name + "=", 0) == 0) {
+        *value = arg.substr(name.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    if (!take_value("--trace", &trace_path) &&
+        !take_value("--events", &events_path) &&
+        !take_value("--metrics", &metrics_path) &&
+        !take_value("--require-spans", &require_spans) &&
+        !take_value("--require-losses", &require_losses)) {
+      std::fprintf(stderr, "validate: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (trace_path.empty() && events_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr, "validate: nothing to validate\n");
+    return Usage();
+  }
+
+  auto check_required = [](const std::string& csv,
+                           const std::set<std::string>& found,
+                           const char* what) -> bool {
+    bool ok = true;
+    for (const std::string& name : Split(csv, ',')) {
+      if (name.empty()) continue;
+      if (found.count(name) == 0) {
+        std::fprintf(stderr, "validate: missing required %s '%s'\n", what,
+                     name.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
+  bool ok = true;
+  if (!trace_path.empty()) {
+    std::string content;
+    Status st = ReadFile(trace_path, &content);
+    size_t num_events = 0;
+    std::set<std::string> span_names;
+    if (st.ok()) {
+      st = obs::ValidateTraceJson(content, &num_events, &span_names);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: trace %s: %s\n", trace_path.c_str(),
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      ok = check_required(require_spans, span_names, "span") && ok;
+      std::printf("trace ok: %zu events, %zu distinct spans\n", num_events,
+                  span_names.size());
+    }
+  }
+  if (!events_path.empty()) {
+    std::string content;
+    Status st = ReadFile(events_path, &content);
+    size_t num_records = 0;
+    std::set<std::string> loss_keys;
+    if (st.ok()) {
+      st = obs::ValidateTrainEventsJsonl(content, &num_records, &loss_keys);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: events %s: %s\n", events_path.c_str(),
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      ok = check_required(require_losses, loss_keys, "loss component") && ok;
+      std::printf("events ok: %zu records, %zu loss components\n",
+                  num_records, loss_keys.size());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::string content;
+    Status st = ReadFile(metrics_path, &content);
+    if (st.ok()) st = obs::ValidateMetricsJson(content);
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: metrics %s: %s\n",
+                   metrics_path.c_str(), st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("metrics ok\n");
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 int RunCompare(int argc, char** argv) {
@@ -265,6 +406,7 @@ int Main(int argc, char** argv) {
   if (command == "diagnose") return RunDiagnose(argc, argv);
   if (command == "train") return RunTrain(argc, argv);
   if (command == "compare") return RunCompare(argc, argv);
+  if (command == "validate") return RunValidate(argc, argv);
   if (command == "methods") {
     for (const std::string& name : AllMethodNames()) {
       std::printf("%s\n", name.c_str());

@@ -17,6 +17,13 @@
 //   ckpt=<path>       checkpoint to load instead of training from scratch
 //                     (shape must match dim=; written there after training
 //                     otherwise)
+//   stats_every_s=0   period of the background stats-dump log line
+//                     (0 disables the dump thread)
+//
+// flags (telemetry, see src/obs/):
+//   --metrics-out <path>   dump the metrics registry as JSON on exit
+//   --trace-out <path>     arm DTREC_TRACE_SPAN recording and write a
+//                          Chrome trace_event JSON on exit
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,9 +35,12 @@
 #include "core/checkpoint.h"
 #include "core/dt_dr.h"
 #include "data/rating_dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
 #include "synth/coat_like.h"
+#include "util/atomic_file.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -79,15 +89,37 @@ void AddStageRow(TableWriter* table, const std::string& stage,
 
 int Main(int argc, char** argv) {
   ArgMap args;
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Telemetry flags first; everything else must be key=value.
+    auto take_value = [&](const std::string& name,
+                          std::string* value) -> bool {
+      if (arg == name && i + 1 < argc) {
+        *value = argv[++i];
+        return true;
+      }
+      if (arg.rfind(name + "=", 0) == 0) {
+        *value = arg.substr(name.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    if (take_value("--metrics-out", &metrics_out) ||
+        take_value("--trace-out", &trace_out)) {
+      continue;
+    }
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
-      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--metrics-out <path>] [--trace-out <path>] "
+                   "[key=value ...]\n",
+                   argv[0]);
       return 2;
     }
     args[arg.substr(0, eq)] = arg.substr(eq + 1);
   }
+  if (!trace_out.empty()) obs::EnableTracing();
 
   const size_t requests = static_cast<size_t>(GetNum(args, "requests", 2000));
   const size_t threads = static_cast<size_t>(GetNum(args, "threads", 4));
@@ -141,6 +173,7 @@ int Main(int argc, char** argv) {
   server_config.default_k = k;
   server_config.default_deadline_ms = deadline_ms;
   server_config.cache.capacity = cache;
+  server_config.stats_dump_period_s = GetNum(args, "stats_every_s", 0.0);
   RecommendServer server(&registry, server_config);
 
   std::printf("serving %zu requests on %zu threads (k=%zu, deadline=%gms, "
@@ -190,6 +223,22 @@ int Main(int argc, char** argv) {
   AddStageRow(&table, "total", stats.total_us);
   table.RenderConsole(std::cout);
   std::printf("\n%s\n", stats.Summary().c_str());
+
+  if (!trace_out.empty()) {
+    if (Status st = obs::WriteTraceJson(trace_out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote trace -> %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::PublishPropensityClipStats(&obs::GlobalMetrics());
+    if (Status st = WriteFileAtomic(metrics_out,
+                                    obs::GlobalMetrics().DumpJson());
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote metrics -> %s\n", metrics_out.c_str());
+  }
 
   if (non_empty != requests) {
     std::fprintf(stderr, "%zu/%zu responses had empty slates\n",

@@ -426,6 +426,35 @@ void CheckRawOfstream(const std::string& rel_path, const std::string& code,
   }
 }
 
+void CheckRawStderr(const std::string& rel_path, const std::string& code,
+                    const std::vector<size_t>& starts,
+                    std::vector<Finding>* findings) {
+  // Library code logs through DTREC_LOG (util/logging.h) so every message
+  // carries severity and a uniform prefix, and FATAL aborts consistently.
+  // The logging backend is the one blessed place that touches the real
+  // stderr stream; tools/ mains talk to their user directly and are out of
+  // scope (the caller only runs this rule for src/).
+  if (rel_path == "src/util/logging.cc") return;
+  const size_t n = code.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsIdentStart(code[i])) {
+      ++i;
+      continue;
+    }
+    const size_t begin = i;
+    while (i < n && IsIdentChar(code[i])) ++i;
+    const std::string id = code.substr(begin, i - begin);
+    if (id == "cerr" || id == "stderr") {
+      findings->push_back(
+          {rel_path, LineOf(starts, begin), "raw-stderr-logging",
+           "raw '" + id +
+               "' in library code; log through DTREC_LOG "
+               "(util/logging.h) so severity and formatting stay uniform"});
+    }
+  }
+}
+
 void CheckFloatLiterals(const std::string& rel_path, const std::string& code,
                         const std::vector<size_t>& starts,
                         std::vector<Finding>* findings) {
@@ -565,6 +594,9 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckIncludeHygiene(rel_path, raw_lines, &raw);
   CheckFloatLiterals(rel_path, code, starts, &raw);
   if (!kind.is_test) CheckRawOfstream(rel_path, code, starts, &raw);
+  if (!kind.is_test && StartsWith(rel_path, "src/")) {
+    CheckRawStderr(rel_path, code, starts, &raw);
+  }
 
   std::vector<Finding> findings;
   for (Finding& f : raw) {
@@ -620,9 +652,9 @@ std::string FindingsToJson(const std::vector<Finding>& findings) {
 
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
-      "propensity-division", "banned-rand",     "naked-new",
-      "include-guard",       "include-hygiene", "float-literal",
-      "raw-ofstream-write",  "lint-usage"};
+      "propensity-division", "banned-rand",        "naked-new",
+      "include-guard",       "include-hygiene",    "float-literal",
+      "raw-ofstream-write",  "raw-stderr-logging", "lint-usage"};
   return kRules;
 }
 

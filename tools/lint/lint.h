@@ -38,6 +38,11 @@
 //                        through WriteFileAtomic or a crash can leave a
 //                        torn file; deliberately non-durable writers
 //                        carry an allow-comment
+//   raw-stderr-logging   `std::cerr` / `fprintf(stderr, ...)` inside src/
+//                        (library code) outside src/util/logging.cc — the
+//                        library reports through DTREC_LOG so severity,
+//                        formatting and fatal handling stay uniform; CLI
+//                        mains under tools/ may write stderr directly
 //
 // A suppression comment applies to its own line and the line directly
 // below it, so both trailing and standalone-comment-above styles work:
