@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace dtrec::obs {
 
@@ -67,9 +68,9 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter> counters_ DTREC_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ DTREC_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ DTREC_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry (serving stats, CLI exports).

@@ -8,6 +8,7 @@
 
 #include "util/atomic_file.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace dtrec::obs {
 
@@ -32,18 +33,18 @@ constexpr size_t kMaxEventsPerThread = 1 << 16;
 /// it), which keeps recording cheap and the flush race TSan-clean.
 struct ThreadBuffer {
   std::mutex mu;
-  std::vector<TraceEvent> events;
-  size_t next = 0;  ///< overwrite cursor once the ring is full
-  uint64_t dropped = 0;
-  uint32_t tid = 0;
+  std::vector<TraceEvent> events DTREC_GUARDED_BY(mu);
+  size_t next DTREC_GUARDED_BY(mu) = 0;  ///< overwrite cursor (ring full)
+  uint64_t dropped DTREC_GUARDED_BY(mu) = 0;
+  uint32_t tid DTREC_GUARDED_BY(mu) = 0;
 };
 
 struct TraceState {
   std::mutex mu;
   /// shared_ptrs keep buffers alive past thread exit, so spans recorded by
   /// a worker survive until the flush after its pool shuts down.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_tid = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers DTREC_GUARDED_BY(mu);
+  uint32_t next_tid DTREC_GUARDED_BY(mu) = 1;
 };
 
 TraceState& State() {
@@ -99,13 +100,13 @@ void DisableTracing() {
 }
 
 void ClearTrace() {
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<std::shared_ptr<ThreadBuffer>> captured;
   {
     TraceState& state = State();
     std::lock_guard<std::mutex> lock(state.mu);
-    buffers = state.buffers;
+    captured = state.buffers;
   }
-  for (const auto& buffer : buffers) {
+  for (const auto& buffer : captured) {
     std::lock_guard<std::mutex> lock(buffer->mu);
     buffer->events.clear();
     buffer->next = 0;
@@ -114,25 +115,25 @@ void ClearTrace() {
 }
 
 std::string FlushTraceJson() {
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<std::shared_ptr<ThreadBuffer>> captured;
   {
     TraceState& state = State();
     std::lock_guard<std::mutex> lock(state.mu);
-    buffers = state.buffers;
+    captured = state.buffers;
   }
 
-  uint64_t dropped = 0;
+  uint64_t total_dropped = 0;
   std::ostringstream os;
   os << "{\"displayTimeUnit\": \"ms\", ";
-  std::ostringstream events;
+  std::ostringstream event_stream;
   bool first = true;
-  for (const auto& buffer : buffers) {
+  for (const auto& buffer : captured) {
     std::vector<TraceEvent> copy;
-    uint32_t tid = 0;
+    uint32_t buffer_tid = 0;
     {
       std::lock_guard<std::mutex> lock(buffer->mu);
-      tid = buffer->tid;
-      dropped += buffer->dropped;
+      buffer_tid = buffer->tid;
+      total_dropped += buffer->dropped;
       copy.reserve(buffer->events.size());
       // Ring order: oldest surviving event first.
       for (size_t i = 0; i < buffer->events.size(); ++i) {
@@ -141,17 +142,17 @@ std::string FlushTraceJson() {
       }
     }
     for (const TraceEvent& e : copy) {
-      if (!first) events << ",\n";
+      if (!first) event_stream << ",\n";
       first = false;
-      events << StrFormat(
+      event_stream << StrFormat(
           "{\"name\": \"%s\", \"cat\": \"dtrec\", \"ph\": \"X\", "
           "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
           e.name, static_cast<double>(e.begin_ns) / 1e3,
-          static_cast<double>(e.duration_ns) / 1e3, tid);
+          static_cast<double>(e.duration_ns) / 1e3, buffer_tid);
     }
   }
-  os << "\"droppedEvents\": " << dropped << ", \"traceEvents\": [\n"
-     << events.str() << "\n]}\n";
+  os << "\"droppedEvents\": " << total_dropped << ", \"traceEvents\": [\n"
+     << event_stream.str() << "\n]}\n";
   return os.str();
 }
 

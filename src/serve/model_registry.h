@@ -10,6 +10,7 @@
 
 #include "serve/serving_model.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dtrec::serve {
 
@@ -67,8 +68,8 @@ class ModelRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::shared_ptr<const ServingModel> current_;
-  std::atomic<uint64_t> generation_{0};
+  std::shared_ptr<const ServingModel> current_ DTREC_GUARDED_BY(mu_);
+  std::atomic<uint64_t> generation_{0};  // lock-free readers via generation()
 };
 
 }  // namespace dtrec::serve

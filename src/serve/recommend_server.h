@@ -15,6 +15,7 @@
 #include "serve/model_registry.h"
 #include "serve/server_stats.h"
 #include "serve/topk_scorer.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dtrec::serve {
@@ -137,7 +138,7 @@ class RecommendServer {
 
   std::mutex dump_mu_;
   std::condition_variable dump_cv_;
-  bool stop_dump_ = false;
+  bool stop_dump_ DTREC_GUARDED_BY(dump_mu_) = false;
   std::thread dump_thread_;
 
   ThreadPool pool_;  // last member: workers must die before the stats

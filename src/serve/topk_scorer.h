@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "serve/serving_model.h"
+#include "util/thread_annotations.h"
 
 namespace dtrec::serve {
 
@@ -73,8 +74,8 @@ class TopKScorer {
 
   const ScoreCacheConfig config_;
   mutable std::mutex mu_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<size_t, CacheEntry> entries_;
+  std::list<size_t> lru_ DTREC_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<size_t, CacheEntry> entries_ DTREC_GUARDED_BY(mu_);
 };
 
 /// Reference implementation: full argsort of all item scores (score desc,

@@ -1,0 +1,27 @@
+#ifndef DTREC_UTIL_THREAD_ANNOTATIONS_H_
+#define DTREC_UTIL_THREAD_ANNOTATIONS_H_
+
+// Lock-discipline annotations, checked statically by dtrec_analyze
+// (tools/analysis). Both macros expand to nothing — they exist so the
+// locking contract is written next to the data it protects and so the
+// `analyze` CTest can flag accesses that break it:
+//
+//   std::mutex mu_;
+//   std::map<std::string, uint64_t> counters_ DTREC_GUARDED_BY(mu_);
+//
+//   void RegistryLocked() DTREC_REQUIRES(mu_);  // caller holds mu_
+//
+// DTREC_GUARDED_BY(mu) marks a field that must only be read or written
+// while `mu` is held (a lock_guard / unique_lock / scoped_lock naming it
+// is in scope). DTREC_REQUIRES(mu) marks a function whose caller must
+// already hold `mu`; the function body is then checked as if the lock
+// were taken on entry.
+//
+// The checker matches mutexes by name, not object identity, and cannot
+// see conditional locking or early unlock() — it is the static
+// complement to the TSan CI leg, not a replacement for it.
+
+#define DTREC_GUARDED_BY(mu)
+#define DTREC_REQUIRES(mu)
+
+#endif  // DTREC_UTIL_THREAD_ANNOTATIONS_H_

@@ -186,6 +186,9 @@ TEST(DtIpsTest, PropensityEstimatesTrackOracle) {
       var_t += dt * dt;
     }
   }
+  // Variance of propensity estimates, not an inverse weight — clipping
+  // the denominator here would bias the correlation being tested.
+  // dtrec-analyze: allow(propensity-taint)
   const double corr = cov / std::sqrt(var_e * var_t);
   EXPECT_GT(corr, 0.2);
   // And the average estimate matches the marginal rate.

@@ -234,6 +234,54 @@ TEST(LintSuppressionTest, UnknownRuleNameIsItselfAFinding) {
   EXPECT_EQ(findings[0].rule, "lint-usage");
 }
 
+// ----------------------------------------------- shared stripper hardening
+// The stripper lives in tools/analysis/lexer.cc; these regressions pin
+// the lint-visible behavior for the constructs that used to confuse it.
+
+TEST(LintStripperTest, EncodingPrefixedRawStringsAreNotCode) {
+  // u8R/LR/uR/UR prefixes open raw strings just like plain R.
+  const char* kSrc =
+      "const char* a = u8R\"(x / p_hat rand())\";\n"
+      "const wchar_t* b = LR\"sep(y / propensity new)sep\";\n"
+      "const char16_t* c = uR\"(z / inv_p)\";\n";
+  EXPECT_TRUE(LintContent("src/foo/raw.cc", kSrc).empty());
+}
+
+TEST(LintStripperTest, HexDigitSeparatorsDoNotOpenCharLiterals) {
+  // 0xFF'FF: the quote follows a letter, but it is still a separator; if
+  // mistaken for a char literal the rest of the file would be swallowed
+  // and the rand() call below missed.
+  const char* kSrc =
+      "int mask = 0xFF'FF;\n"
+      "int bin = 0b1010'1010;\n"
+      "int big = 1'000'000;\n"
+      "int r = rand();\n";
+  const auto findings = LintContent("src/foo/sep.cc", kSrc);
+  EXPECT_EQ(CountRule(findings, "banned-rand"), 1u);
+}
+
+TEST(LintStripperTest, BackslashContinuationExtendsLineComments) {
+  // The spliced line is still comment text, not code.
+  const char* kSrc =
+      "// this comment continues \\\n"
+      "rand(); int x = new_value / p_hat_total;\n"
+      "int y = 0;\n";
+  EXPECT_TRUE(LintContent("src/foo/cont.cc", kSrc).empty())
+      << FindingsToJson(LintContent("src/foo/cont.cc", kSrc));
+}
+
+TEST(LintStripperTest, EscapedNewlineInStringKeepsLineNumbers) {
+  // A string containing \<newline> must not desynchronize line counting:
+  // the finding below it has to land on line 3.
+  const char* kSrc =
+      "const char* s = \"splice \\\n"
+      "tail\";\n"
+      "int r = rand();\n";
+  const auto findings = LintContent("src/foo/splice.cc", kSrc);
+  ASSERT_EQ(CountRule(findings, "banned-rand"), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
 // ------------------------------------------------------ header-only rules
 
 TEST(LintHeaderTest, CanonicalGuardAccepted) {
@@ -320,7 +368,10 @@ TEST(LintReportTest, JsonShapeAndEscaping) {
   EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
   EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
   EXPECT_NE(json.find("uses \\\"rand\\\""), std::string::npos);
-  EXPECT_EQ(FindingsToJson({}), "{\"count\": 0, \"findings\": []}\n");
+  EXPECT_NE(json.find("\"schema\": \"dtrec-lint-v1\""), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}),
+            "{\"schema\": \"dtrec-lint-v1\", \"count\": 0, \"findings\": "
+            "[]}\n");
 }
 
 TEST(LintReportTest, KnownRulesCoverEmittedRules) {

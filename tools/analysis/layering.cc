@@ -1,0 +1,190 @@
+#include "analysis/layering.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dtrec::analysis {
+namespace {
+
+const std::map<std::string, int>& RankTable() {
+  static const std::map<std::string, int> kRanks = {
+      {"util", 0},        {"tensor", 1},    {"autograd", 2},
+      {"data", 2},        {"core", 3},      {"propensity", 3},
+      {"optim", 3},       {"metrics", 3},   {"baselines", 4},
+      {"models", 4},      {"synth", 4},     {"diagnostics", 4},
+      {"experiments", 5}, {"serve", 5},     {"obs", 5},
+  };
+  return kRanks;
+}
+
+std::string FirstSegment(const std::string& path) {
+  const size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Rotates a cycle (first == last) so its smallest node leads — the
+/// canonical form used to report each cycle exactly once.
+std::vector<std::string> CanonicalCycle(std::vector<std::string> cycle) {
+  cycle.pop_back();  // drop the duplicated head
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  cycle.push_back(cycle.front());
+  return cycle;
+}
+
+std::string JoinCycle(const std::vector<std::string>& cycle) {
+  std::string out;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += cycle[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+int ModuleRank(const std::string& module) {
+  const auto it = RankTable().find(module);
+  return it != RankTable().end() ? it->second : -1;
+}
+
+std::string ModuleOfPath(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) != 0) return "";
+  const std::string module = FirstSegment(rel_path.substr(4));
+  return ModuleRank(module) >= 0 ? module : "";
+}
+
+std::string ModuleOfInclude(const std::string& include_path) {
+  const std::string module = FirstSegment(include_path);
+  return ModuleRank(module) >= 0 ? module : "";
+}
+
+std::vector<Finding> AnalyzeLayering(
+    const std::map<std::string, std::vector<IncludeSite>>& includes_by_file,
+    const std::set<std::pair<std::string, std::string>>& allowed_edges) {
+  std::vector<Finding> findings;
+
+  // Module edge → first include site realizing it (for anchoring cycle
+  // reports somewhere a human can look).
+  struct Site {
+    std::string file;
+    size_t line;
+  };
+  std::map<std::pair<std::string, std::string>, Site> module_edges;
+
+  for (const auto& [file, sites] : includes_by_file) {
+    const std::string from = ModuleOfPath(file);
+    if (from.empty()) continue;  // tools/tests/bench/examples are exempt
+    for (const IncludeSite& site : sites) {
+      if (!site.quoted) continue;
+      const std::string to = ModuleOfInclude(site.path);
+      if (to.empty() || to == from) continue;
+      const auto edge = std::make_pair(from, to);
+      const bool baselined = allowed_edges.count(edge) != 0;
+      if (!baselined) {
+        module_edges.emplace(edge, Site{file, site.line});
+        if (ModuleRank(to) > ModuleRank(from)) {
+          findings.push_back(
+              {file, site.line, "layering-upward",
+               "module '" + from + "' (layer " +
+                   std::to_string(ModuleRank(from)) + ") includes '" +
+                   site.path + "' from higher layer '" + to + "' (layer " +
+                   std::to_string(ModuleRank(to)) +
+                   "); invert the dependency or record a justified edge in "
+                   "the baseline"});
+        }
+      }
+    }
+  }
+
+  // Module-level cycle detection (colored DFS) over non-baselined edges.
+  {
+    std::map<std::string, std::vector<std::string>> graph;
+    for (const auto& [edge, site] : module_edges) {
+      graph[edge.first].push_back(edge.second);
+    }
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+      color[u] = 1;
+      stack.push_back(u);
+      for (const std::string& v : graph[u]) {
+        if (color[v] == 1) {
+          std::vector<std::string> cycle(
+              std::find(stack.begin(), stack.end(), v), stack.end());
+          cycle.push_back(v);
+          cycle = CanonicalCycle(cycle);
+          const std::string text = JoinCycle(cycle);
+          if (reported.insert(text).second) {
+            const Site& at = module_edges.at({u, v});
+            findings.push_back(
+                {at.file, at.line, "layering-cycle",
+                 "module dependency cycle: " + text +
+                     "; break the cycle or record a justified edge in the "
+                     "baseline"});
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+      stack.pop_back();
+      color[u] = 2;
+    };
+    for (const auto& [node, _] : graph) {
+      if (color[node] == 0) dfs(node);
+    }
+  }
+
+  // File-level include cycles. Includes resolve against the analyzed set:
+  // "obs/foo.h" from a src file is "src/obs/foo.h"; tools headers live
+  // under "tools/".
+  {
+    std::map<std::string, std::vector<std::pair<std::string, size_t>>> graph;
+    for (const auto& [file, sites] : includes_by_file) {
+      for (const IncludeSite& site : sites) {
+        if (!site.quoted) continue;
+        for (const std::string& prefix : {std::string("src/"),
+                                          std::string("tools/"),
+                                          std::string()}) {
+          const std::string resolved = prefix + site.path;
+          if (includes_by_file.count(resolved) != 0) {
+            graph[file].emplace_back(resolved, site.line);
+            break;
+          }
+        }
+      }
+    }
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+      color[u] = 1;
+      stack.push_back(u);
+      for (const auto& [v, line] : graph[u]) {
+        if (color[v] == 1) {
+          std::vector<std::string> cycle(
+              std::find(stack.begin(), stack.end(), v), stack.end());
+          cycle.push_back(v);
+          cycle = CanonicalCycle(cycle);
+          const std::string text = JoinCycle(cycle);
+          if (reported.insert(text).second) {
+            findings.push_back({u, line, "include-cycle",
+                                "include cycle: " + text});
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+      stack.pop_back();
+      color[u] = 2;
+    };
+    for (const auto& [node, _] : graph) {
+      if (color[node] == 0) dfs(node);
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace dtrec::analysis

@@ -1,0 +1,58 @@
+#ifndef DTREC_TOOLS_ANALYSIS_LAYERING_H_
+#define DTREC_TOOLS_ANALYSIS_LAYERING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.h"
+
+// Layering-DAG enforcement over the include graph. The dtrec module order
+// (lower may never include higher):
+//
+//   0  util
+//   1  tensor
+//   2  autograd, data
+//   3  core, propensity, optim, metrics
+//   4  baselines, models, synth, diagnostics
+//   5  experiments, serve, obs
+//
+// Rules emitted:
+//   layering-upward  an include site in module A pulling in module B with
+//                    rank(B) > rank(A), unless the module edge (A, B) is
+//                    recorded in the baseline;
+//   layering-cycle   a dependency cycle between modules (catches
+//                    same-rank cycles like core ↔ propensity that the
+//                    rank check cannot see); baselined edges are excluded
+//                    from the cycle graph;
+//   include-cycle    a file-level include loop (a.h → b.h → a.h), which
+//                    include guards silence but layering forbids.
+//
+// tools/, tests/, bench/ and examples/ are exempt as includers — they sit
+// outside the layer stack and may reach anything.
+
+namespace dtrec::analysis {
+
+/// Rank in the table above, or -1 for unknown module names.
+int ModuleRank(const std::string& module);
+
+/// Module owning a repo-relative file path ("src/core/ips.cc" → "core"),
+/// or "" for exempt/unranked locations (tools/, tests/, bench/, ...).
+std::string ModuleOfPath(const std::string& rel_path);
+
+/// Module targeted by a quoted include as written ("core/ips.h" →
+/// "core"), or "" if the first path segment is not a ranked module.
+std::string ModuleOfInclude(const std::string& include_path);
+
+/// Runs all three graph checks over the whole-tree include map
+/// (repo-relative file path → its include sites). `allowed_edges` are the
+/// baselined (from-module, to-module) pairs.
+std::vector<Finding> AnalyzeLayering(
+    const std::map<std::string, std::vector<IncludeSite>>& includes_by_file,
+    const std::set<std::pair<std::string, std::string>>& allowed_edges);
+
+}  // namespace dtrec::analysis
+
+#endif  // DTREC_TOOLS_ANALYSIS_LAYERING_H_

@@ -1,0 +1,190 @@
+#include "analysis/locks.h"
+
+#include <utility>
+
+namespace dtrec::analysis {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsLockType(const std::string& id) {
+  return id == "lock_guard" || id == "unique_lock" || id == "scoped_lock";
+}
+
+/// Index one past the matching ')' / '}' for the opener at `open`, or
+/// tokens.size() if unbalanced.
+size_t SkipGroup(const std::vector<Token>& tokens, size_t open) {
+  const std::string& o = tokens[open].text;
+  const std::string close = o == "(" ? ")" : (o == "[" ? "]" : "}");
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == o) ++depth;
+    if (tokens[i].text == close && --depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Skips a template argument list starting at a `<` token; `>>` closes two
+/// levels. Returns the index one past the closing token.
+size_t SkipTemplateArgs(const std::vector<Token>& tokens, size_t i) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "<") ++depth;
+    if (tokens[i].text == ">") --depth;
+    if (tokens[i].text == ">>") depth -= 2;
+    if (depth <= 0 && (tokens[i].text == ">" || tokens[i].text == ">>")) {
+      return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+/// The last identifier of each top-level comma-separated argument inside
+/// the group opened at `open` — `state.mu`, `buffer->mu` and `mu_` all
+/// resolve to their final name segment.
+std::vector<std::string> ArgMutexNames(const std::vector<Token>& tokens,
+                                       size_t open) {
+  std::vector<std::string> names;
+  const size_t end = SkipGroup(tokens, open) - 1;
+  int depth = 0;
+  std::string last;
+  for (size_t i = open + 1; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == "," && depth == 0) {
+        if (!last.empty()) names.push_back(last);
+        last.clear();
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && depth == 0) last = t.text;
+  }
+  if (!last.empty()) names.push_back(last);
+  return names;
+}
+
+}  // namespace
+
+LockAnnotations ExtractLockAnnotations(const std::vector<Token>& tokens) {
+  LockAnnotations out;
+  for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent ||
+        tokens[i].text != "DTREC_GUARDED_BY" || !IsPunct(tokens[i + 1], "(")) {
+      continue;
+    }
+    // The macro's own `#define DTREC_GUARDED_BY(mu)` is not a field.
+    if (tokens[i - 1].kind != TokKind::kIdent ||
+        tokens[i - 1].text == "define") {
+      continue;
+    }
+    const std::vector<std::string> mus = ArgMutexNames(tokens, i + 1);
+    if (mus.size() == 1) out.guarded[tokens[i - 1].text] = mus[0];
+  }
+  return out;
+}
+
+std::vector<Finding> AnalyzeLockDiscipline(const std::string& rel_path,
+                                           const std::vector<Token>& tokens,
+                                           const LockAnnotations& annotations) {
+  std::vector<Finding> findings;
+  if (annotations.guarded.empty()) return findings;
+
+  int brace_depth = 0;
+  // Held locks: (mutex name, brace depth at construction). A lock dies
+  // when its enclosing scope closes, i.e. when brace_depth drops below
+  // the construction depth.
+  std::vector<std::pair<std::string, int>> held;
+  // Mutexes named by a DTREC_REQUIRES(...) seen after a parameter list;
+  // they become held when the function body's `{` opens, and are dropped
+  // if a `;` ends the declaration first.
+  std::vector<std::string> pending_requires;
+
+  auto holds = [&held](const std::string& mu) {
+    for (const auto& [name, depth] : held) {
+      if (name == mu) return true;
+    }
+    return false;
+  };
+
+  const size_t n = tokens.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++brace_depth;
+        for (const std::string& mu : pending_requires) {
+          held.emplace_back(mu, brace_depth);
+        }
+        pending_requires.clear();
+      } else if (t.text == "}") {
+        --brace_depth;
+        while (!held.empty() && held.back().second > brace_depth) {
+          held.pop_back();
+        }
+      } else if (t.text == ";") {
+        pending_requires.clear();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    // Annotation macros: never treat their contents as accesses. A
+    // REQUIRES annotation arms the pending set instead.
+    if (t.text == "DTREC_GUARDED_BY" || t.text == "DTREC_REQUIRES") {
+      if (i + 1 < n && IsPunct(tokens[i + 1], "(")) {
+        if (t.text == "DTREC_REQUIRES") {
+          for (std::string& mu : ArgMutexNames(tokens, i + 1)) {
+            pending_requires.push_back(std::move(mu));
+          }
+        }
+        i = SkipGroup(tokens, i + 1) - 1;
+      }
+      continue;
+    }
+
+    // Lock construction: std::lock_guard<std::mutex> l(mu_);, CTAD
+    // (std::scoped_lock l(a, b);) and unnamed temporaries all land here.
+    if (IsLockType(t.text)) {
+      size_t j = i + 1;
+      if (j < n && IsPunct(tokens[j], "<")) j = SkipTemplateArgs(tokens, j);
+      if (j < n && tokens[j].kind == TokKind::kIdent) ++j;  // variable name
+      if (j < n && (IsPunct(tokens[j], "(") || IsPunct(tokens[j], "{"))) {
+        for (std::string& mu : ArgMutexNames(tokens, j)) {
+          held.emplace_back(std::move(mu), brace_depth);
+        }
+        i = SkipGroup(tokens, j) - 1;
+      }
+      continue;
+    }
+
+    const auto guard = annotations.guarded.find(t.text);
+    if (guard == annotations.guarded.end()) continue;
+    // The declaration site itself (field name directly before the
+    // annotation macro) is not an access.
+    if (i + 1 < n && tokens[i + 1].kind == TokKind::kIdent &&
+        tokens[i + 1].text == "DTREC_GUARDED_BY") {
+      continue;
+    }
+    // Constructor member-init list: `: field_(expr)` / `, field_(expr)`.
+    if (i > 0 && i + 1 < n && IsPunct(tokens[i + 1], "(") &&
+        (IsPunct(tokens[i - 1], ":") || IsPunct(tokens[i - 1], ","))) {
+      continue;
+    }
+    if (holds(guard->second)) continue;
+    findings.push_back(
+        {rel_path, t.line, "lock-discipline",
+         "'" + t.text + "' is declared DTREC_GUARDED_BY(" + guard->second +
+             ") but is accessed with no lock_guard/unique_lock/scoped_lock "
+             "on '" + guard->second + "' in scope and no DTREC_REQUIRES on "
+             "the enclosing function"});
+  }
+  return findings;
+}
+
+}  // namespace dtrec::analysis

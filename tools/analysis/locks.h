@@ -1,0 +1,46 @@
+#ifndef DTREC_TOOLS_ANALYSIS_LOCKS_H_
+#define DTREC_TOOLS_ANALYSIS_LOCKS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/lexer.h"
+
+// Lock-discipline checking (rule `lock-discipline`), the static
+// complement to the TSan CI leg. Fields annotated with the no-op macro
+// DTREC_GUARDED_BY(mu) (util/thread_annotations.h) may only be read or
+// written inside a scope that constructed a std::lock_guard /
+// unique_lock / scoped_lock naming that mutex, or inside a function
+// declared with DTREC_REQUIRES(mu).
+//
+// The analysis is textual: mutex identity is the final identifier of the
+// lock expression (`mu_`, `state.mu` and `buffer->mu` all name "mu_" /
+// "mu"), scopes are brace-tracked, and a lock is considered held from its
+// construction until the enclosing brace closes. A guard constructed
+// conditionally or released early via unique_lock::unlock() is beyond
+// this checker — that is what the TSan leg is for.
+
+namespace dtrec::analysis {
+
+struct LockAnnotations {
+  /// field name → mutex name (the identifier inside DTREC_GUARDED_BY).
+  std::map<std::string, std::string> guarded;
+};
+
+/// Collects DTREC_GUARDED_BY annotations from a token stream (the
+/// annotated declaration's field is the identifier directly before the
+/// macro).
+LockAnnotations ExtractLockAnnotations(const std::vector<Token>& tokens);
+
+/// Raw findings (not yet allow-filtered). `annotations` should merge the
+/// file's own annotations with its paired header/source sibling's, since
+/// fields declared in foo.h are used in foo.cc.
+std::vector<Finding> AnalyzeLockDiscipline(const std::string& rel_path,
+                                           const std::vector<Token>& tokens,
+                                           const LockAnnotations& annotations);
+
+}  // namespace dtrec::analysis
+
+#endif  // DTREC_TOOLS_ANALYSIS_LOCKS_H_

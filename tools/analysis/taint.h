@@ -1,0 +1,47 @@
+#ifndef DTREC_TOOLS_ANALYSIS_TAINT_H_
+#define DTREC_TOOLS_ANALYSIS_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/lexer.h"
+
+// Propensity-taint dataflow (rule `propensity-taint`). Intra-function,
+// flow-sensitive, over the token stream:
+//
+//   sources     identifiers matching the propensity lexicon (substring
+//               match on propensit / p_hat / inv_p, case-insensitive) —
+//               this covers variables, containers like eval_propensities,
+//               and call results of Predict*Propensity / PropensityModel
+//               helpers alike;
+//   transfer    `x = expr` taints x when expr carries taint and cleanses
+//               x otherwise (so re-clipping a variable clears it);
+//               compound assignments only add taint; aliases
+//               (`auto& w = p_hat`) propagate;
+//   sanitizers  ClipPropensity / SafeInverse / SoftClip — a call's
+//               argument span contributes no taint, and assigning from
+//               one cleanses the target;
+//   sinks       the divisor operand of `/` and `/=`, and the first
+//               argument of std::log / std::pow.
+//
+// Taint state resets at every function-body open (a `{` whose preceding
+// parenthesized list is not an if/for/while/switch/catch header), so
+// state never leaks across functions. Lambda bodies share their enclosing
+// function's state. Known approximations: taint entering a lambda by
+// capture is tracked (same map), but taint returned *out* of helper
+// functions defined in the same file is only caught via the lexicon.
+
+namespace dtrec::analysis {
+
+/// Raw findings (not yet allow-filtered); `tokens` from Lex() over the
+/// stripped file.
+std::vector<Finding> AnalyzePropensityTaint(const std::string& rel_path,
+                                            const std::vector<Token>& tokens);
+
+/// True if `identifier` matches the propensity lexicon.
+bool MatchesPropensityLexicon(const std::string& identifier);
+
+}  // namespace dtrec::analysis
+
+#endif  // DTREC_TOOLS_ANALYSIS_TAINT_H_

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lexer.h"
+
 namespace dtrec::lint {
 namespace {
 
@@ -44,122 +46,6 @@ std::string Trim(const std::string& s) {
   while (b < e && IsSpace(s[b])) ++b;
   while (e > b && IsSpace(s[e - 1])) --e;
   return s.substr(b, e - b);
-}
-
-// Comments and string/char literals replaced by spaces (newlines kept so
-// line numbers survive); comment text collected per 0-based line for the
-// suppression parser.
-struct ScrubResult {
-  std::string code;
-  std::vector<std::string> comments;
-};
-
-ScrubResult Scrub(const std::string& s) {
-  ScrubResult out;
-  out.code.assign(s.size(), ' ');
-  size_t line = 0;
-  auto comment_at = [&out](size_t ln) -> std::string& {
-    if (out.comments.size() <= ln) out.comments.resize(ln + 1);
-    return out.comments[ln];
-  };
-
-  enum State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State st = kCode;
-  std::string raw_close;  // e.g. )delim" for the active raw string
-  const size_t n = s.size();
-  size_t i = 0;
-  while (i < n) {
-    const char c = s[i];
-    if (c == '\n') {
-      out.code[i] = '\n';
-      if (st == kLineComment) st = kCode;
-      ++line;
-      ++i;
-      continue;
-    }
-    switch (st) {
-      case kCode: {
-        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-          st = kLineComment;
-          i += 2;
-          break;
-        }
-        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-          st = kBlockComment;
-          i += 2;
-          break;
-        }
-        if (c == '"') {
-          const bool raw = i > 0 && s[i - 1] == 'R' &&
-                           (i < 2 || !IsIdentChar(s[i - 2]));
-          if (raw) {
-            size_t d = i + 1;
-            while (d < n && s[d] != '(' && s[d] != '\n') ++d;
-            raw_close = ")" + s.substr(i + 1, d - (i + 1)) + "\"";
-            st = kRawString;
-            i = d < n ? d + 1 : n;
-          } else {
-            st = kString;
-            ++i;
-          }
-          break;
-        }
-        if (c == '\'') {
-          // A quote right after a digit is a C++14 separator (1'000), not
-          // the start of a char literal.
-          if (i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1]))) {
-            out.code[i] = c;
-            ++i;
-          } else {
-            st = kChar;
-            ++i;
-          }
-          break;
-        }
-        out.code[i] = c;
-        ++i;
-        break;
-      }
-      case kLineComment:
-        comment_at(line).push_back(c);
-        ++i;
-        break;
-      case kBlockComment:
-        if (c == '*' && i + 1 < n && s[i + 1] == '/') {
-          st = kCode;
-          i += 2;
-        } else {
-          comment_at(line).push_back(c);
-          ++i;
-        }
-        break;
-      case kString:
-        if (c == '\\' && i + 1 < n) {
-          i += 2;
-        } else {
-          if (c == '"') st = kCode;
-          ++i;
-        }
-        break;
-      case kChar:
-        if (c == '\\' && i + 1 < n) {
-          i += 2;
-        } else {
-          if (c == '\'') st = kCode;
-          ++i;
-        }
-        break;
-      case kRawString:
-        if (s.compare(i, raw_close.size(), raw_close) == 0) {
-          st = kCode;
-          i += raw_close.size();
-        } else {
-          ++i;
-        }
-        break;
-    }
-  }
-  return out;
 }
 
 std::vector<size_t> LineStarts(const std::string& s) {
@@ -209,56 +95,6 @@ std::pair<char, std::string> ParseInclude(const std::string& raw_line) {
   std::string path;
   while (i < n && raw_line[i] != close) path.push_back(raw_line[i++]);
   return {open, path};
-}
-
-// Per-line rule suppressions from allow-comments (syntax in lint.h).
-// Line numbers are 1-based; an allowance covers its line and the next.
-struct AllowMap {
-  std::map<size_t, std::set<std::string>> by_line;
-  std::vector<Finding> usage_findings;
-};
-
-AllowMap ParseAllows(const std::string& rel_path,
-                     const std::vector<std::string>& comments) {
-  static const std::string kTag = "dtrec-lint:";
-  AllowMap out;
-  for (size_t ln0 = 0; ln0 < comments.size(); ++ln0) {
-    const std::string& text = comments[ln0];
-    size_t pos = text.find(kTag);
-    while (pos != std::string::npos) {
-      size_t p = text.find("allow(", pos + kTag.size());
-      const size_t end = p == std::string::npos
-                             ? std::string::npos
-                             : text.find(')', p + 6);
-      if (p == std::string::npos || end == std::string::npos) break;
-      std::string inner = text.substr(p + 6, end - (p + 6));
-      std::replace(inner.begin(), inner.end(), ',', ' ');
-      std::istringstream iss(inner);
-      std::string rule;
-      while (iss >> rule) {
-        const auto& known = KnownRules();
-        if (rule != "all" &&
-            std::find(known.begin(), known.end(), rule) == known.end()) {
-          out.usage_findings.push_back(
-              {rel_path, ln0 + 1, "lint-usage",
-               "allow() names unknown rule '" + rule + "'"});
-          continue;
-        }
-        out.by_line[ln0 + 1].insert(rule);
-      }
-      pos = text.find(kTag, end);
-    }
-  }
-  return out;
-}
-
-bool Allowed(const AllowMap& allows, const std::string& rule, size_t line) {
-  for (const size_t ln : {line, line > 0 ? line - 1 : 0}) {
-    const auto it = allows.by_line.find(ln);
-    if (it == allows.by_line.end()) continue;
-    if (it->second.count(rule) || it->second.count("all")) return true;
-  }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -364,7 +200,8 @@ void CheckIncludeHygiene(const std::string& rel_path,
       "src/",    "util/",        "tensor/", "autograd/",    "optim/",
       "data/",   "synth/",       "metrics/", "propensity/", "models/",
       "baselines/", "core/",     "experiments/", "io/",     "diagnostics/",
-      "serve/",  "lint/",        "bench/",  "tests/",       "tools/"};
+      "serve/",  "lint/",        "analysis/", "bench/",     "tests/",
+      "tools/"};
   for (size_t ln0 = 0; ln0 < raw_lines.size(); ++ln0) {
     const auto [delim, path] = ParseInclude(raw_lines[ln0]);
     if (delim == '\0') continue;
@@ -562,7 +399,10 @@ FileKind ClassifyPath(const std::string& rel_path) {
 std::vector<Finding> LintContent(const std::string& rel_path,
                                  const std::string& content) {
   const FileKind kind = ClassifyPath(rel_path);
-  const ScrubResult scrub = Scrub(content);
+  // The shared stripper (tools/analysis/lexer.h) blanks comments and
+  // literals while surviving raw strings, digit separators and line
+  // continuations — dtrec_lint and dtrec_analyze see the same code.
+  const analysis::StripResult scrub = analysis::StripSource(content);
   const std::vector<size_t> starts = LineStarts(content);
   const std::vector<std::string> raw_lines = SplitLines(content);
   std::vector<std::string> code_lines = SplitLines(scrub.code);
@@ -583,7 +423,8 @@ std::vector<Finding> LintContent(const std::string& rel_path,
     }
   }
 
-  const AllowMap allows = ParseAllows(rel_path, scrub.comments);
+  const analysis::AllowParse allows =
+      analysis::ParseAllowComments("dtrec-lint:", scrub.comments, KnownRules());
 
   std::vector<Finding> raw;
   CheckPropensityDivision(rel_path, code, starts, &raw);
@@ -600,9 +441,14 @@ std::vector<Finding> LintContent(const std::string& rel_path,
 
   std::vector<Finding> findings;
   for (Finding& f : raw) {
-    if (!Allowed(allows, f.rule, f.line)) findings.push_back(std::move(f));
+    if (!analysis::AllowCovers(allows, f.rule, f.line)) {
+      findings.push_back(std::move(f));
+    }
   }
-  for (const Finding& f : allows.usage_findings) findings.push_back(f);
+  for (const auto& [line, rule] : allows.unknown) {
+    findings.push_back({rel_path, line, "lint-usage",
+                        "allow() names unknown rule '" + rule + "'"});
+  }
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
@@ -638,7 +484,8 @@ std::vector<Finding> LintClangTidyConfig(const std::string& rel_path,
 
 std::string FindingsToJson(const std::vector<Finding>& findings) {
   std::ostringstream os;
-  os << "{\"count\": " << findings.size() << ", \"findings\": [";
+  os << "{\"schema\": \"dtrec-lint-v1\", \"count\": " << findings.size()
+     << ", \"findings\": [";
   for (size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     if (i) os << ", ";

@@ -8,10 +8,13 @@
 // dtrec_lint — project-specific static checks for the dtrec tree.
 //
 // The linter is deliberately textual: it strips comments and string
-// literals, then pattern-matches the remaining code. That is enough to
-// enforce the project idioms below without dragging in a real C++
-// frontend, and it keeps the binary dependency-free so the `lint` CTest
-// label can run under any sanitizer configuration.
+// literals (via the shared lexical layer in tools/analysis/lexer.h, also
+// used by dtrec_analyze), then pattern-matches the remaining code. That
+// is enough to enforce the project idioms below without dragging in a
+// real C++ frontend, and it keeps the binary dependency-free so the
+// `lint` CTest label can run under any sanitizer configuration. Deeper
+// checks that need dataflow or the include graph (propensity taint,
+// layering, lock discipline) live in dtrec_analyze.
 //
 // Rules (each name below is valid inside an allow-comment, shown at the
 // bottom of this block):
@@ -85,8 +88,9 @@ std::vector<Finding> LintContent(const std::string& rel_path,
 std::vector<Finding> LintClangTidyConfig(const std::string& rel_path,
                                          const std::string& content);
 
-/// Machine-readable report: {"count": N, "findings": [{file,line,rule,
-/// message}...]}. Stable field order, findings in input order.
+/// Machine-readable report: {"schema": "dtrec-lint-v1", "count": N,
+/// "findings": [{file,line,rule,message}...]}. Stable field order,
+/// findings in input order.
 std::string FindingsToJson(const std::vector<Finding>& findings);
 
 /// Names of all rules LintContent can emit (excludes clang-tidy-config).
