@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   for (size_t user = 0; user < 50; ++user) {
     const dtrec::serve::Recommendation rec =
         server.Submit({.user = user}).get();
-    if (rec.degraded || rec.items.size() != 5) {
+    if (rec.degraded() || rec.items.size() != 5) {
       std::fprintf(stderr, "unexpected response for user %zu\n", user);
       return 1;
     }
@@ -116,10 +116,10 @@ int main(int argc, char** argv) {
   const dtrec::serve::Recommendation degraded =
       server.Recommend({.user = 0, .k = 5, .deadline_ms = 0.0});
   std::printf("0ms-deadline request degraded=%d (popularity slate: %u...)\n",
-              degraded.degraded ? 1 : 0,
+              degraded.degraded() ? 1 : 0,
               degraded.items.empty() ? 0u : degraded.items[0].item);
 
   const dtrec::serve::ServerStats stats = server.Snapshot();
   std::printf("server stats: %s\n", stats.Summary().c_str());
-  return (scores_match && degraded.degraded) ? 0 : 1;
+  return (scores_match && degraded.degraded()) ? 0 : 1;
 }

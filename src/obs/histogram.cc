@@ -85,6 +85,7 @@ Histogram::Summary Histogram::Summarize(const Snapshot& snapshot) {
   summary.p50_us = percentile(0.50);
   summary.p95_us = percentile(0.95);
   summary.p99_us = percentile(0.99);
+  summary.p999_us = percentile(0.999);
   return summary;
 }
 

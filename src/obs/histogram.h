@@ -51,6 +51,7 @@ class Histogram {
     double p50_us = 0.0;
     double p95_us = 0.0;
     double p99_us = 0.0;
+    double p999_us = 0.0;
     double max_us = 0.0;
   };
 

@@ -79,8 +79,10 @@ std::string MetricsRegistry::DumpText() const {
   for (const auto& [name, hist] : histograms_) {
     const Histogram::Summary s = hist.Summarize();
     os << name << " count=" << s.count
-       << StrFormat(" mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
-                    s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us)
+       << StrFormat(" mean=%.1f p50=%.1f p95=%.1f p99=%.1f p999=%.1f "
+                    "max=%.1f",
+                    s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.p999_us,
+                    s.max_us)
        << "\n";
   }
   return os.str();
@@ -114,6 +116,7 @@ std::string MetricsRegistry::DumpJson() const {
        << ", \"p50\": " << JsonNumber(s.p50_us)
        << ", \"p95\": " << JsonNumber(s.p95_us)
        << ", \"p99\": " << JsonNumber(s.p99_us)
+       << ", \"p999\": " << JsonNumber(s.p999_us)
        << ", \"max\": " << JsonNumber(s.max_us) << "}";
   }
   os << "}}\n";

@@ -354,4 +354,136 @@ Status ValidateMetricsJson(const std::string& content) {
   return Status::OK();
 }
 
+Status ValidateServingBenchJson(const std::string& content,
+                                ServingBenchGateInputs* gate) {
+  JsonCursor cur{content};
+  std::string schema;
+  bool saw_build = false, saw_config = false, saw_summary = false;
+  bool build_type = false, sanitizers = false, numeric_checks = false,
+       failpoints = false;
+  ServingBenchGateInputs parsed;
+  std::string error;
+
+  cur.ParseObject([&](const std::string& key) {
+    if (key == "schema") {
+      schema = cur.ParseString();
+    } else if (key == "build") {
+      saw_build = true;
+      cur.ParseObject([&](const std::string& bk) {
+        if (bk == "build_type") {
+          build_type = true;
+          parsed.build_type = cur.ParseString();
+        } else if (bk == "sanitizers") {
+          sanitizers = true;
+          parsed.sanitizers = cur.ParseString();
+        } else if (bk == "numeric_checks") {
+          numeric_checks = true;
+          cur.SkipValue();
+        } else if (bk == "failpoints") {
+          failpoints = true;
+          cur.SkipWs();
+          const size_t at = cur.i;
+          cur.SkipValue();
+          parsed.failpoints = content.compare(at, 4, "true") == 0;
+        } else {
+          cur.SkipValue();
+        }
+      });
+    } else if (key == "config") {
+      saw_config = true;
+      cur.ParseObject([&](const std::string& ck) {
+        if (ck == "slo_ms") {
+          parsed.slo_ms = cur.ParseNumber();
+        } else {
+          cur.SkipValue();
+        }
+      });
+    } else if (key == "phases") {
+      if (!cur.Eat('[')) return;
+      if (cur.Peek(']')) {
+        cur.Eat(']');
+        return;
+      }
+      while (cur.ok) {
+        std::string name;
+        bool requests = false, elapsed = false;
+        int percentiles = 0, rates = 0;
+        double p99_us = 0.0, shed_rate = -1.0;
+        cur.ParseObject([&](const std::string& pk) {
+          if (pk == "phase") {
+            name = cur.ParseString();
+          } else if (pk == "requests") {
+            requests = cur.ParseNumber() >= 0.0;
+          } else if (pk == "elapsed_s") {
+            elapsed = cur.ParseNumber() >= 0.0;
+          } else if (pk == "p50_us" || pk == "p999_us") {
+            if (cur.ParseNumber() >= 0.0) ++percentiles;
+          } else if (pk == "p99_us") {
+            p99_us = cur.ParseNumber();
+            if (p99_us >= 0.0) ++percentiles;
+          } else if (pk == "shed_rate") {
+            shed_rate = cur.ParseNumber();
+            if (shed_rate >= 0.0 && shed_rate <= 1.0) ++rates;
+          } else if (pk == "degraded_rate" || pk == "cache_hit_rate") {
+            const double v = cur.ParseNumber();
+            if (v >= 0.0 && v <= 1.0) ++rates;
+          } else {
+            cur.SkipValue();
+          }
+        });
+        if (error.empty() &&
+            !(!name.empty() && requests && elapsed && percentiles == 3 &&
+              rates == 3)) {
+          error = "phases[" + std::to_string(parsed.num_phases) +
+                  "] missing phase/requests/elapsed_s, a latency "
+                  "percentile, or a rate outside [0, 1]";
+        }
+        if (name == "capacity") parsed.capacity_p99_us = p99_us;
+        if (name == "saturation_flood") parsed.saturation_shed_rate = shed_rate;
+        ++parsed.num_phases;
+        if (cur.Peek(',')) {
+          cur.Eat(',');
+          continue;
+        }
+        cur.Eat(']');
+        return;
+      }
+    } else if (key == "summary") {
+      saw_summary = true;
+      cur.ParseObject([&](const std::string& sk) {
+        if (sk == "per_core_users_per_sec_at_slo") {
+          parsed.per_core_users_per_sec_at_slo = cur.ParseNumber();
+        } else if (sk == "breaker_open_transitions") {
+          parsed.breaker_open_transitions = cur.ParseNumber();
+        } else {
+          cur.SkipValue();
+        }
+      });
+    } else {
+      cur.SkipValue();
+    }
+  });
+
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("malformed serving bench JSON");
+  }
+  if (schema != "dtrec-bench-serving-v1") {
+    return Status::InvalidArgument("schema tag is '" + schema +
+                                   "', expected 'dtrec-bench-serving-v1'");
+  }
+  if (!saw_build || !build_type || !sanitizers || !numeric_checks ||
+      !failpoints) {
+    return Status::InvalidArgument(
+        "build stamp needs build_type/sanitizers/numeric_checks/failpoints");
+  }
+  if (!saw_config) return Status::InvalidArgument("missing config object");
+  if (parsed.num_phases == 0) {
+    return Status::InvalidArgument("phases array is empty");
+  }
+  if (!error.empty()) return Status::InvalidArgument(error);
+  if (!saw_summary) return Status::InvalidArgument("missing summary object");
+  if (gate != nullptr) *gate = parsed;
+  return Status::OK();
+}
+
 }  // namespace dtrec::obs

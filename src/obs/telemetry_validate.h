@@ -38,6 +38,34 @@ Status ValidateTrainEventsJsonl(const std::string& content,
 /// objects; every histogram entry carries count/mean/p50/p95/p99/max.
 Status ValidateMetricsJson(const std::string& content);
 
+/// Gate-relevant fields parsed out of a serving-bench JSON by
+/// ValidateServingBenchJson. The CI throughput gate reads the build stamp
+/// from the document itself so a sanitized or Debug run is never held to
+/// the Release floor.
+struct ServingBenchGateInputs {
+  std::string build_type;  ///< e.g. "Release"
+  std::string sanitizers;  ///< "none" on an unsanitized build
+  bool failpoints = false;
+  size_t num_phases = 0;
+  double slo_ms = 0.0;
+  /// Closed-loop capacity phase throughput, normalized per worker core,
+  /// counted only while the p99 met the SLO (0 when the SLO was missed).
+  double per_core_users_per_sec_at_slo = 0.0;
+  double capacity_p99_us = 0.0;
+  double saturation_shed_rate = -1.0;  ///< -1 = no saturation phase
+  double breaker_open_transitions = 0.0;
+};
+
+/// Serving traffic-replay bench JSON: "dtrec-bench-serving-v1" with a
+/// build stamp (build_type/sanitizers/numeric_checks/failpoints), a
+/// config object, a non-empty phases array — every phase carrying a
+/// non-empty name, request/latency fields (requests, elapsed_s, p50_us,
+/// p99_us, p999_us) and the rate triple (shed_rate, degraded_rate,
+/// cache_hit_rate) — and a summary object with the per-core SLO
+/// throughput. Outputs (optional): the fields the CI gate enforces.
+Status ValidateServingBenchJson(const std::string& content,
+                                ServingBenchGateInputs* gate = nullptr);
+
 }  // namespace dtrec::obs
 
 #endif  // DTREC_OBS_TELEMETRY_VALIDATE_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -25,12 +26,27 @@ RecommendServer::RecommendServer(const ModelRegistry* registry,
       scorer_(config_.cache),
       metrics_(OrGlobal(config_.metrics)),
       requests_(metrics_->GetCounter(config_.metrics_prefix + ".requests")),
-      degraded_(metrics_->GetCounter(config_.metrics_prefix + ".degraded")),
-      shed_(metrics_->GetCounter(config_.metrics_prefix + ".shed")),
+      rung_full_(
+          metrics_->GetCounter(config_.metrics_prefix + ".rung_full")),
+      rung_cached_(
+          metrics_->GetCounter(config_.metrics_prefix + ".rung_cached")),
+      rung_popularity_(
+          metrics_->GetCounter(config_.metrics_prefix + ".rung_popularity")),
+      rung_shed_(
+          metrics_->GetCounter(config_.metrics_prefix + ".rung_shed")),
+      deadline_miss_(
+          metrics_->GetCounter(config_.metrics_prefix + ".deadline_miss")),
+      queue_shed_(
+          metrics_->GetCounter(config_.metrics_prefix + ".queue_shed")),
+      breaker_open_(
+          metrics_->GetCounter(config_.metrics_prefix + ".breaker_open")),
       cache_hits_(
           metrics_->GetCounter(config_.metrics_prefix + ".cache_hits")),
       cache_misses_(
           metrics_->GetCounter(config_.metrics_prefix + ".cache_misses")),
+      retries_(metrics_->GetCounter(config_.metrics_prefix + ".retries")),
+      retry_denied_(
+          metrics_->GetCounter(config_.metrics_prefix + ".retry_denied")),
       swaps_(metrics_->GetCounter(config_.metrics_prefix + ".model_swaps")),
       generation_(metrics_->GetGauge(config_.metrics_prefix + ".generation")),
       queue_hist_(
@@ -39,6 +55,13 @@ RecommendServer::RecommendServer(const ModelRegistry* registry,
           metrics_->GetHistogram(config_.metrics_prefix + ".score_us")),
       total_hist_(
           metrics_->GetHistogram(config_.metrics_prefix + ".total_us")),
+      admission_(config_.admission, metrics_,
+                 config_.metrics_prefix + ".admission"),
+      retry_budget_(config_.retry),
+      scorer_breaker_(config_.metrics_prefix + ".breaker.scorer",
+                      config_.breaker, metrics_, config_.breaker_clock),
+      cache_breaker_(config_.metrics_prefix + ".breaker.cache",
+                     config_.breaker, metrics_, config_.breaker_clock),
       pool_(config_.num_threads, config_.max_queue) {
   DTREC_CHECK(registry != nullptr);
   // A fresh server owns its metric prefix and starts from zero — a prior
@@ -80,21 +103,37 @@ void RecommendServer::StatsDumpLoop() {
 
 std::future<Recommendation> RecommendServer::Submit(
     const RecommendRequest& request) {
-  auto task = std::make_shared<std::packaged_task<Recommendation()>>(
-      [this, request, submitted = Stopwatch()] {
-        return Handle(request, submitted.ElapsedMicros());
-      });
-  std::future<Recommendation> future = task->get_future();
-  if (!pool_.Submit([task] { (*task)(); })) {
-    // Backlog at max_queue: shed on the caller's thread with the
-    // precomputed popularity slate. Overload costs O(k) per refused
-    // request instead of an ever-longer queue of doomed scoring passes.
-    std::packaged_task<Recommendation()> shed_task([this, &request] {
-      return Handle(request, /*waited_us=*/0.0, /*shed=*/true);
-    });
-    future = shed_task.get_future();
-    shed_task();
+  bool admitted = true;
+  try {
+    DTREC_FAILPOINT("serve/queue_admit");
+  } catch (const failpoint::FailpointAbort&) {
+    // An injected admission fault sheds the request — the front door
+    // refusing is exactly what this failpoint simulates.
+    admitted = false;
   }
+  if (admitted && admission_.TryAdmit(pool_.pending()) !=
+                      AdmissionController::Decision::kAdmit) {
+    admitted = false;
+  }
+  if (admitted) {
+    auto task = std::make_shared<std::packaged_task<Recommendation()>>(
+        [this, request, submitted = Stopwatch()] {
+          return Handle(request, submitted.ElapsedMicros());
+        });
+    std::future<Recommendation> future = task->get_future();
+    if (pool_.Submit([task] { (*task)(); })) return future;
+    // Backlog at max_queue despite admission: fall through to the shed
+    // path. (Admission depth and pool bound race benignly — both resolve
+    // to the same rung.)
+  }
+  // Shed on the caller's thread: O(1), empty slate, future already
+  // resolved. Overload costs a refusal per excess request instead of an
+  // ever-longer queue of doomed scoring passes.
+  std::packaged_task<Recommendation()> shed_task([this, &request] {
+    return Handle(request, /*waited_us=*/0.0, DegradeReason::kQueueShed);
+  });
+  std::future<Recommendation> future = shed_task.get_future();
+  shed_task();
   return future;
 }
 
@@ -103,7 +142,8 @@ Recommendation RecommendServer::Recommend(const RecommendRequest& request) {
 }
 
 Recommendation RecommendServer::Handle(const RecommendRequest& request,
-                                       double waited_us, bool shed) {
+                                       double waited_us,
+                                       DegradeReason forced) {
   DTREC_TRACE_SPAN("serve_handle");
   const Stopwatch handle_watch;
   Recommendation response;
@@ -132,50 +172,161 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
   const double deadline_ms = request.deadline_ms >= 0
                                  ? request.deadline_ms
                                  : config_.default_deadline_ms;
+  const double deadline_us = deadline_ms >= 0 ? deadline_ms * 1e3 : -1.0;
 
   const Stopwatch stage_watch;
-  if (shed || (deadline_ms >= 0 && waited_us >= deadline_ms * 1e3)) {
+  if (forced == DegradeReason::kQueueShed) {
+    // Refused at the front door: bottom rung, empty slate, O(1).
+    response.rung = ServeRung::kShed;
+    response.reason = DegradeReason::kQueueShed;
+  } else if (deadline_us >= 0 && waited_us >= deadline_us) {
     // Budget burned in the queue: serve the precomputed popularity
     // ranking instead of burning more time on a full scoring pass.
-    DTREC_TRACE_SPAN("serve_degraded");
-    response.degraded = true;
-    response.shed = shed;
-    const auto& ranking = model->popularity_ranking();
-    response.items.reserve(k);
-    for (size_t i = 0; i < k; ++i) {
-      response.items.push_back(
-          {ranking[i], model->popularity(ranking[i])});
-    }
+    PopularitySlate(*model, k, DegradeReason::kDeadlineMiss, &response);
   } else {
-    DTREC_TRACE_SPAN("serve_score");
-    response.items = scorer_.TopK(*model, request.user, k,
-                                  &response.cache_hit);
+    ScoreLadder(*model, request.user, k, deadline_us, waited_us, &response);
   }
   response.score_us = stage_watch.ElapsedMicros();
   response.total_us = waited_us + handle_watch.ElapsedMicros();
 
-  requests_->Increment();
-  if (response.degraded) {
-    degraded_->Increment();
-    if (response.shed) shed_->Increment();
-  } else if (response.cache_hit) {
-    cache_hits_->Increment();
-  } else {
-    cache_misses_->Increment();
-  }
+  CountResponse(response);
   queue_hist_->Record(response.queue_us);
   score_hist_->Record(response.score_us);
   total_hist_->Record(response.total_us);
+  retry_budget_.RecordRequest();
   return response;
+}
+
+void RecommendServer::ScoreLadder(const ServingModel& model, size_t user,
+                                  size_t k, double deadline_us,
+                                  double spent_us,
+                                  Recommendation* response) {
+  DTREC_TRACE_SPAN("serve_score");
+  const uint64_t generation = model.generation();
+  const Stopwatch ladder_watch;
+
+  // The score cache is one dependency: Allow() once per request covers
+  // the lookup and (on a miss that reaches a fresh slate) the fill.
+  // `cache_pending` tracks an Allow() not yet concluded by a Record*().
+  bool cache_pending = cache_breaker_.Allow();
+  if (cache_pending) {
+    std::vector<ScoredItem> slate;
+    if (scorer_.CachedSlate(generation, user, k, &slate)) {
+      cache_breaker_.RecordSuccess();
+      response->rung = ServeRung::kCachedSlate;
+      response->cache_hit = true;
+      response->items = std::move(slate);
+      cache_hits_->Increment();
+      return;
+    }
+    cache_misses_->Increment();
+  }
+
+  // Fresh scoring pass, breaker-guarded, with at most one budgeted retry.
+  bool scored = false;
+  std::vector<ScoredItem> slate;
+  for (int attempt = 0; attempt < 2 && !scored; ++attempt) {
+    if (!scorer_breaker_.Allow()) break;
+    try {
+      slate = scorer_.ScoreFresh(model, user, k);
+      scored = true;
+      scorer_breaker_.RecordSuccess();
+    } catch (const failpoint::FailpointAbort&) {
+      scorer_breaker_.RecordFailure();
+      if (attempt > 0) break;
+      // Retry only while the deadline still has room and the budget —
+      // refilled by completed requests, so retries stay a bounded
+      // fraction of traffic — grants a token.
+      const bool in_deadline =
+          deadline_us < 0 ||
+          spent_us + ladder_watch.ElapsedMicros() < deadline_us;
+      if (!in_deadline || !retry_budget_.TryAcquire()) {
+        retry_denied_->Increment();
+        break;
+      }
+      retries_->Increment();
+    }
+  }
+
+  if (!scored) {
+    // Scorer breaker open or the pass kept failing: popularity fallback.
+    if (cache_pending) cache_breaker_.RecordSuccess();  // lookup was clean
+    PopularitySlate(model, k, DegradeReason::kBreakerOpen, response);
+    return;
+  }
+
+  response->rung = ServeRung::kFullTopK;
+  if (cache_pending) {
+    try {
+      scorer_.StoreSlate(generation, user, slate);
+      cache_breaker_.RecordSuccess();
+    } catch (const failpoint::FailpointAbort&) {
+      // Fill failed — the slate itself is still good; only the cache
+      // dependency is charged.
+      cache_breaker_.RecordFailure();
+    }
+  }
+  response->items = std::move(slate);
+}
+
+void RecommendServer::PopularitySlate(const ServingModel& model, size_t k,
+                                      DegradeReason reason,
+                                      Recommendation* response) {
+  DTREC_TRACE_SPAN("serve_degraded");
+  response->rung = ServeRung::kPopularity;
+  response->reason = reason;
+  const auto& ranking = model.popularity_ranking();
+  response->items.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    response->items.push_back({ranking[i], model.popularity(ranking[i])});
+  }
+}
+
+void RecommendServer::CountResponse(const Recommendation& response) {
+  requests_->Increment();
+  switch (response.rung) {
+    case ServeRung::kFullTopK:
+      rung_full_->Increment();
+      break;
+    case ServeRung::kCachedSlate:
+      rung_cached_->Increment();
+      break;
+    case ServeRung::kPopularity:
+      rung_popularity_->Increment();
+      break;
+    case ServeRung::kShed:
+      rung_shed_->Increment();
+      break;
+  }
+  switch (response.reason) {
+    case DegradeReason::kNone:
+      break;
+    case DegradeReason::kDeadlineMiss:
+      deadline_miss_->Increment();
+      break;
+    case DegradeReason::kQueueShed:
+      queue_shed_->Increment();
+      break;
+    case DegradeReason::kBreakerOpen:
+      breaker_open_->Increment();
+      break;
+  }
 }
 
 ServerStats RecommendServer::Snapshot() const {
   ServerStats stats;
   stats.requests = requests_->Value();
-  stats.degraded = degraded_->Value();
-  stats.shed = shed_->Value();
+  stats.rung_full = rung_full_->Value();
+  stats.rung_cached = rung_cached_->Value();
+  stats.rung_popularity = rung_popularity_->Value();
+  stats.rung_shed = rung_shed_->Value();
+  stats.deadline_miss = deadline_miss_->Value();
+  stats.queue_shed = queue_shed_->Value();
+  stats.breaker_open = breaker_open_->Value();
   stats.cache_hits = cache_hits_->Value();
   stats.cache_misses = cache_misses_->Value();
+  stats.retries = retries_->Value();
+  stats.retry_denied = retry_denied_->Value();
   stats.model_swaps = swaps_->Value();
   stats.generation = registry_->generation();
   stats.queue_us = queue_hist_->Summarize();
@@ -186,10 +337,17 @@ ServerStats RecommendServer::Snapshot() const {
 
 void RecommendServer::ResetStats() {
   requests_->Reset();
-  degraded_->Reset();
-  shed_->Reset();
+  rung_full_->Reset();
+  rung_cached_->Reset();
+  rung_popularity_->Reset();
+  rung_shed_->Reset();
+  deadline_miss_->Reset();
+  queue_shed_->Reset();
+  breaker_open_->Reset();
   cache_hits_->Reset();
   cache_misses_->Reset();
+  retries_->Reset();
+  retry_denied_->Reset();
   swaps_->Reset();
   queue_hist_->Reset();
   score_hist_->Reset();

@@ -15,15 +15,52 @@ namespace dtrec::serve {
 /// serve:: call site and test source-compatible.
 using LatencyHistogram = ::dtrec::obs::Histogram;
 
+/// The degradation ladder: every request resolves to exactly one rung,
+/// best rung first. Numeric order IS ladder order, so "response A is no
+/// worse than B" is an integer comparison — the chaos suite relies on it.
+enum class ServeRung : uint8_t {
+  kFullTopK = 0,     ///< fresh full scoring pass
+  kCachedSlate = 1,  ///< served from the per-user score cache
+  kPopularity = 2,   ///< popularity fallback (deadline or scorer failure)
+  kShed = 3,         ///< refused — empty slate, O(1) cost
+};
+
+/// Why a request landed below kFullTopK/kCachedSlate. The three causes
+/// are disjoint: every degraded request carries exactly one.
+enum class DegradeReason : uint8_t {
+  kNone = 0,
+  kDeadlineMiss = 1,  ///< latency budget burned before scoring could start
+  kQueueShed = 2,     ///< refused at admission or by the full worker queue
+  kBreakerOpen = 3,   ///< scorer breaker open, or the scoring pass failed
+};
+
+const char* ToString(ServeRung rung);
+const char* ToString(DegradeReason reason);
+
 /// Point-in-time counters + per-stage latency summaries of a
 /// RecommendServer. A snapshot is plain data — safe to copy, print, or
 /// diff against an earlier snapshot.
+///
+/// Invariants (the chaos suite asserts them under fault injection):
+///   requests == rung_full + rung_cached + rung_popularity + rung_shed
+///   rung_popularity == deadline_miss + breaker_open
+///   rung_shed == queue_shed
 struct ServerStats {
-  uint64_t requests = 0;      ///< completed requests
-  uint64_t degraded = 0;      ///< popularity fallbacks (deadline or shed)
-  uint64_t shed = 0;          ///< refused by the full queue (⊆ degraded)
+  uint64_t requests = 0;         ///< completed requests
+  uint64_t rung_full = 0;        ///< fresh full-scoring slates
+  uint64_t rung_cached = 0;      ///< score-cache slates
+  uint64_t rung_popularity = 0;  ///< popularity-fallback slates
+  uint64_t rung_shed = 0;        ///< refused requests (empty slate)
+
+  // Degradation causes, disjoint (see DegradeReason).
+  uint64_t deadline_miss = 0;
+  uint64_t queue_shed = 0;
+  uint64_t breaker_open = 0;
+
   uint64_t cache_hits = 0;    ///< slates served from the score cache
-  uint64_t cache_misses = 0;  ///< slates that ran the full scoring pass
+  uint64_t cache_misses = 0;  ///< cache lookups that ran a full pass
+  uint64_t retries = 0;       ///< scoring retries granted by the budget
+  uint64_t retry_denied = 0;  ///< retries refused (budget or deadline)
   uint64_t model_swaps = 0;   ///< registry generation changes observed
   uint64_t generation = 0;    ///< model generation at snapshot time
 
@@ -31,16 +68,23 @@ struct ServerStats {
   LatencyHistogram::Summary score_us;  ///< scoring (or fallback) stage
   LatencyHistogram::Summary total_us;  ///< submit → response ready
 
+  /// Requests that landed below the top two rungs.
+  uint64_t degraded() const { return rung_popularity + rung_shed; }
+
   double degraded_rate() const {
-    return requests == 0 ? 0.0 : static_cast<double>(degraded) / requests;
+    return requests == 0 ? 0.0
+                         : static_cast<double>(degraded()) / requests;
+  }
+  double shed_rate() const {
+    return requests == 0 ? 0.0 : static_cast<double>(rung_shed) / requests;
   }
   double cache_hit_rate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
   }
 
-  /// One-line counter digest, e.g.
-  /// "requests=1000 degraded=1.2% cache_hit=34.0% generation=2".
+  /// One-line counter digest, e.g. "requests=1000 full=800 cached=150
+  /// pop=40 shed=10 deadline_miss=30 breaker_open=10 cache_hit=34.0% ...".
   std::string Summary() const;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace dtrec::serve {
 namespace {
 
@@ -22,12 +24,26 @@ std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
                                          bool* cache_hit) {
   k = std::min(k, model.num_items());
   std::vector<ScoredItem> slate;
-  if (config_.capacity > 0 &&
-      CacheLookup(user, model.generation(), k, &slate)) {
+  if (CachedSlate(model.generation(), user, k, &slate)) {
     if (cache_hit != nullptr) *cache_hit = true;
     return slate;
   }
   if (cache_hit != nullptr) *cache_hit = false;
+  slate = ScoreFresh(model, user, k);
+  StoreSlate(model.generation(), user, slate);
+  return slate;
+}
+
+bool TopKScorer::CachedSlate(uint64_t generation, size_t user, size_t k,
+                             std::vector<ScoredItem>* out) {
+  if (config_.capacity == 0) return false;
+  return CacheLookup(user, generation, k, out);
+}
+
+std::vector<ScoredItem> TopKScorer::ScoreFresh(const ServingModel& model,
+                                               size_t user, size_t k) {
+  DTREC_FAILPOINT("serve/score");
+  k = std::min(k, model.num_items());
 
   // Scratch survives across requests on the same worker thread: zero
   // steady-state allocation for the dominant O(|I|) buffer.
@@ -38,7 +54,7 @@ std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
   // ranks earlier), the std heap root is the comp-maximum, i.e. the
   // *worst* kept entry; each remaining item pays one comparison against
   // the root once the heap is warm.
-  slate.clear();
+  std::vector<ScoredItem> slate;
   slate.reserve(k + 1);
   for (uint32_t item = 0; item < scores.size(); ++item) {
     const ScoredItem candidate{item, scores[item]};
@@ -52,9 +68,14 @@ std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
     }
   }
   std::sort_heap(slate.begin(), slate.end(), Better);  // best first
-
-  if (config_.capacity > 0) CacheStore(user, model.generation(), slate);
   return slate;
+}
+
+void TopKScorer::StoreSlate(uint64_t generation, size_t user,
+                            const std::vector<ScoredItem>& slate) {
+  if (config_.capacity == 0) return;
+  DTREC_FAILPOINT("serve/cache_fill");
+  CacheStore(user, generation, slate);
 }
 
 bool TopKScorer::CacheLookup(size_t user, uint64_t generation, size_t k,

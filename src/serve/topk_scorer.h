@@ -50,9 +50,30 @@ class TopKScorer {
 
   /// Top-`k` slate for `user` under `model` (k clamped to the catalogue
   /// size). Thread-safe. `cache_hit`, when non-null, reports whether the
-  /// slate came from the cache.
+  /// slate came from the cache. Composition of the three staged calls
+  /// below — callers that need per-dependency failure handling (the
+  /// degradation ladder in RecommendServer) drive the stages themselves.
   std::vector<ScoredItem> TopK(const ServingModel& model, size_t user,
                                size_t k, bool* cache_hit = nullptr);
+
+  /// Cache stage, lookup half: true + a k-prefix copy into `out` when a
+  /// generation-matching slate of length ≥ k is cached. Never scores.
+  bool CachedSlate(uint64_t generation, size_t user, size_t k,
+                   std::vector<ScoredItem>* out);
+
+  /// Scoring stage: full scoring pass + bounded-heap top-K selection, no
+  /// cache interaction. Failpoint site `serve/score` fires at entry (an
+  /// armed `abort` spec throws failpoint::FailpointAbort — the injected
+  /// "scorer dependency failed" fault the serving ladder degrades on).
+  std::vector<ScoredItem> ScoreFresh(const ServingModel& model, size_t user,
+                                     size_t k);
+
+  /// Cache stage, fill half: stores `slate` for `user` under `generation`
+  /// (LRU-evicting; no-op when the cache is disabled). Failpoint site
+  /// `serve/cache_fill` fires before the cache is touched, so an injected
+  /// fault never leaves a half-written entry.
+  void StoreSlate(uint64_t generation, size_t user,
+                  const std::vector<ScoredItem>& slate);
 
   /// Drops every cached slate (called on model hot-swap).
   void InvalidateAll();

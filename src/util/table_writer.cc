@@ -1,8 +1,9 @@
 #include "util/table_writer.h"
 
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace dtrec {
@@ -73,16 +74,11 @@ void TableWriter::RenderCsv(std::ostream& os) const {
 }
 
 Status TableWriter::WriteCsvFile(const std::string& path) const {
-  // Report tables are re-renderable scratch output, not durable state.
-  std::ofstream out(path);  // dtrec-lint: allow(raw-ofstream-write)
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open file for writing: " + path);
-  }
-  RenderCsv(out);
-  if (!out.good()) {
-    return Status::Internal("write failed for: " + path);
-  }
-  return Status::OK();
+  // Atomic rename-commit: a reader (or a crashed bench re-run) never sees
+  // a half-written CSV, and ENOSPC fails before the old file is replaced.
+  std::ostringstream os;
+  RenderCsv(os);
+  return WriteFileAtomic(path, os.str());
 }
 
 }  // namespace dtrec

@@ -327,7 +327,7 @@ TEST(RecommendServerTest, ServesExactSlatesConcurrently) {
   }
   for (size_t r = 0; r < futures.size(); ++r) {
     const Recommendation rec = futures[r].get();
-    EXPECT_FALSE(rec.degraded);
+    EXPECT_FALSE(rec.degraded());
     const auto expected = BruteForceTopK(reference, r % 30, 10);
     ASSERT_EQ(rec.items.size(), expected.size());
     for (size_t i = 0; i < expected.size(); ++i) {
@@ -336,7 +336,8 @@ TEST(RecommendServerTest, ServesExactSlatesConcurrently) {
   }
   const ServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.requests, 300u);
-  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.degraded(), 0u);
+  EXPECT_EQ(stats.rung_full + stats.rung_cached, 300u);
   // 30 distinct users each miss cold at least once; repeats hit. (Two
   // in-flight requests for the same user may both miss, so the split is
   // bounded, not exact.)
@@ -358,7 +359,9 @@ TEST(RecommendServerTest, ZeroDeadlineDegradesDeterministically) {
 
   for (int round = 0; round < 20; ++round) {
     const Recommendation rec = server.Recommend({.user = 3, .k = 4});
-    ASSERT_TRUE(rec.degraded);
+    ASSERT_TRUE(rec.degraded());
+    EXPECT_EQ(rec.rung, ServeRung::kPopularity);
+    EXPECT_EQ(rec.reason, DegradeReason::kDeadlineMiss);
     ASSERT_EQ(rec.items.size(), 4u);
     const auto& ranking = model->popularity_ranking();
     for (size_t i = 0; i < 4; ++i) {
@@ -367,15 +370,16 @@ TEST(RecommendServerTest, ZeroDeadlineDegradesDeterministically) {
     }
   }
   const ServerStats stats = server.Snapshot();
-  EXPECT_EQ(stats.degraded, 20u);
+  EXPECT_EQ(stats.degraded(), 20u);
+  EXPECT_EQ(stats.deadline_miss, 20u);
+  EXPECT_EQ(stats.rung_popularity, 20u);
   EXPECT_DOUBLE_EQ(stats.degraded_rate(), 1.0);
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
 }
 
-TEST(RecommendServerTest, FullQueueShedsToPopularitySlate) {
+TEST(RecommendServerTest, FullQueueShedsWithEmptySlate) {
   ModelRegistry registry;
   registry.Publish(RandomModel(20, 2000, 16, 17));
-  auto model = registry.Acquire();
 
   ServerConfig config = TestConfig(1);
   config.max_queue = 1;
@@ -384,7 +388,8 @@ TEST(RecommendServerTest, FullQueueShedsToPopularitySlate) {
 
   // One worker, backlog cap 1: a burst of submissions far outpaces the
   // 2000-item scoring passes, so most of the burst must shed. Shed
-  // responses come back immediately with the popularity slate.
+  // responses come back immediately with an empty slate (the bottom
+  // ladder rung is an O(1) refusal, not a popularity fallback).
   std::vector<std::future<Recommendation>> futures;
   for (size_t r = 0; r < 64; ++r) {
     futures.push_back(server.Submit({.user = r % 20, .k = 5}));
@@ -392,26 +397,53 @@ TEST(RecommendServerTest, FullQueueShedsToPopularitySlate) {
   size_t shed_count = 0;
   for (auto& future : futures) {
     const Recommendation rec = future.get();
-    ASSERT_EQ(rec.items.size(), 5u);
-    if (rec.shed) {
+    if (rec.shed()) {
       ++shed_count;
-      EXPECT_TRUE(rec.degraded);
-      const auto& ranking = model->popularity_ranking();
-      for (size_t i = 0; i < 5; ++i) {
-        EXPECT_EQ(rec.items[i].item, ranking[i]);
-      }
+      EXPECT_TRUE(rec.degraded());
+      EXPECT_EQ(rec.rung, ServeRung::kShed);
+      EXPECT_EQ(rec.reason, DegradeReason::kQueueShed);
+      EXPECT_TRUE(rec.items.empty());
+    } else {
+      ASSERT_EQ(rec.items.size(), 5u);
     }
   }
   EXPECT_GT(shed_count, 0u);
 
   const ServerStats stats = server.Snapshot();
   EXPECT_EQ(stats.requests, 64u);
-  EXPECT_EQ(stats.shed, shed_count);
-  EXPECT_GE(stats.degraded, stats.shed);  // shed ⊆ degraded
+  EXPECT_EQ(stats.rung_shed, shed_count);
+  EXPECT_EQ(stats.queue_shed, shed_count);
+  EXPECT_GE(stats.degraded(), stats.rung_shed);  // shed ⊆ degraded
   EXPECT_NE(stats.Summary().find("shed="), std::string::npos);
 
   server.ResetStats();
-  EXPECT_EQ(server.Snapshot().shed, 0u);
+  EXPECT_EQ(server.Snapshot().rung_shed, 0u);
+}
+
+TEST(RecommendServerTest, AdmissionRateLimitShedsExcessTraffic) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(10, 40, 4, 23));
+
+  ServerConfig config = TestConfig(2);
+  config.admission.rate_per_s = 100.0;
+  config.admission.burst = 8.0;
+  RecommendServer server(&registry, config);
+
+  std::vector<std::future<Recommendation>> futures;
+  for (size_t r = 0; r < 40; ++r) {
+    futures.push_back(server.Submit({.user = r % 10, .k = 3}));
+  }
+  size_t shed = 0;
+  for (auto& future : futures) {
+    if (future.get().shed()) ++shed;
+  }
+  // The bucket starts full (burst 8) and refills at 100/s; the burst of
+  // 40 submits lands in well under a second, so at least 40 - 8 - (slack
+  // for refill during the loop) requests must shed.
+  EXPECT_GE(shed, 24u);
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.queue_shed, shed);
+  EXPECT_GE(server.admission().rejected_rate(), shed);
 }
 
 TEST(RecommendServerTest, PerRequestDeadlineOverridesDefault) {
@@ -420,10 +452,10 @@ TEST(RecommendServerTest, PerRequestDeadlineOverridesDefault) {
   RecommendServer server(&registry, TestConfig(1));
   const Recommendation expired =
       server.Recommend({.user = 1, .k = 3, .deadline_ms = 0.0});
-  EXPECT_TRUE(expired.degraded);
+  EXPECT_TRUE(expired.degraded());
   const Recommendation fine =
       server.Recommend({.user = 1, .k = 3, .deadline_ms = 1e6});
-  EXPECT_FALSE(fine.degraded);
+  EXPECT_FALSE(fine.degraded());
 }
 
 TEST(RecommendServerTest, HotSwapNeverServesTornModelUnderLoad) {

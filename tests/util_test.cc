@@ -269,7 +269,9 @@ TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
   table.SetHeader({"a"});
   const Status st = table.WriteCsvFile("/nonexistent_dir_xyz/out.csv");
   EXPECT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Routed through WriteFileAtomic, which reports the failed mkstemp/open
+  // syscall as an internal error (not a caller-argument problem).
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
 }
 
 TEST(TableWriterTest, WriteCsvFileRoundTrip) {

@@ -9,8 +9,8 @@
 //                   [--trace-out <path>] [--events-out <path>] [key=value...]
 //   dtrec_cli compare <prefix> <method1,method2,...> [key=value...]
 //   dtrec_cli validate [--trace <path>] [--events <path>]
-//                      [--metrics <path>] [--require-spans <csv>]
-//                      [--require-losses <csv>]
+//                      [--metrics <path>] [--serving-bench <path>]
+//                      [--require-spans <csv>] [--require-losses <csv>]
 //   dtrec_cli methods
 //
 // Recognized key=value pairs: seed, scale, epochs, dim, batch_size, lr,
@@ -149,8 +149,8 @@ int Usage() {
       "            [--trace-out <path>] [--events-out <path>] [k=v...]\n"
       "  dtrec_cli compare <prefix> <m1,m2,...> [k=v...]\n"
       "  dtrec_cli validate [--trace <path>] [--events <path>]\n"
-      "            [--metrics <path>] [--require-spans <csv>]\n"
-      "            [--require-losses <csv>]\n"
+      "            [--metrics <path>] [--serving-bench <path>]\n"
+      "            [--require-spans <csv>] [--require-losses <csv>]\n"
       "  dtrec_cli methods\n");
   return 2;
 }
@@ -278,7 +278,7 @@ int RunTrain(int argc, char** argv) {
 /// train command emits. Used by the CI telemetry smoke (tools/CMakeLists)
 /// so a malformed trace/event stream fails the build, not a human reader.
 int RunValidate(int argc, char** argv) {
-  std::string trace_path, events_path, metrics_path;
+  std::string trace_path, events_path, metrics_path, serving_bench_path;
   std::string require_spans, require_losses;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -297,13 +297,15 @@ int RunValidate(int argc, char** argv) {
     if (!take_value("--trace", &trace_path) &&
         !take_value("--events", &events_path) &&
         !take_value("--metrics", &metrics_path) &&
+        !take_value("--serving-bench", &serving_bench_path) &&
         !take_value("--require-spans", &require_spans) &&
         !take_value("--require-losses", &require_losses)) {
       std::fprintf(stderr, "validate: unknown argument '%s'\n", arg.c_str());
       return Usage();
     }
   }
-  if (trace_path.empty() && events_path.empty() && metrics_path.empty()) {
+  if (trace_path.empty() && events_path.empty() && metrics_path.empty() &&
+      serving_bench_path.empty()) {
     std::fprintf(stderr, "validate: nothing to validate\n");
     return Usage();
   }
@@ -370,6 +372,21 @@ int RunValidate(int argc, char** argv) {
       ok = false;
     } else {
       std::printf("metrics ok\n");
+    }
+  }
+  if (!serving_bench_path.empty()) {
+    std::string content;
+    Status st = ReadFile(serving_bench_path, &content);
+    obs::ServingBenchGateInputs inputs;
+    if (st.ok()) st = obs::ValidateServingBenchJson(content, &inputs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: serving-bench %s: %s\n",
+                   serving_bench_path.c_str(), st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("serving-bench ok: %zu phases, build %s/%s\n",
+                  inputs.num_phases, inputs.build_type.c_str(),
+                  inputs.sanitizers.c_str());
     }
   }
   return ok ? 0 : 1;

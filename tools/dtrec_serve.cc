@@ -19,6 +19,10 @@
 //                     otherwise)
 //   stats_every_s=0   period of the background stats-dump log line
 //                     (0 disables the dump thread)
+//   max_queue=0       worker-queue bound; excess requests shed (0 = off)
+//   admit_rate=0      admission token-bucket rate per second (0 = off)
+//   admit_burst=0     admission token-bucket burst capacity
+//   admit_depth=0     admission queue-depth shed threshold (0 = off)
 //
 // flags (telemetry, see src/obs/):
 //   --metrics-out <path>   dump the metrics registry as JSON on exit
@@ -174,6 +178,16 @@ int Main(int argc, char** argv) {
   server_config.default_deadline_ms = deadline_ms;
   server_config.cache.capacity = cache;
   server_config.stats_dump_period_s = GetNum(args, "stats_every_s", 0.0);
+  // Overload-resilience knobs (all default off — an unconfigured run
+  // admits everything): bounded worker queue, token-bucket admission
+  // rate, and admission queue-depth cap. Excess traffic is shed with an
+  // empty slate instead of queueing without bound.
+  server_config.max_queue =
+      static_cast<size_t>(GetNum(args, "max_queue", 0));
+  server_config.admission.rate_per_s = GetNum(args, "admit_rate", 0.0);
+  server_config.admission.burst = GetNum(args, "admit_burst", 0.0);
+  server_config.admission.max_queue_depth =
+      static_cast<size_t>(GetNum(args, "admit_depth", 0));
   RecommendServer server(&registry, server_config);
 
   std::printf("serving %zu requests on %zu threads (k=%zu, deadline=%gms, "
@@ -204,9 +218,16 @@ int Main(int argc, char** argv) {
     futures.push_back(
         server.Submit({.user = traffic_rng.UniformIndex(shape.num_users)}));
   }
-  size_t non_empty = 0;
+  size_t served = 0, shed = 0, torn = 0;
   for (auto& future : futures) {
-    if (!future.get().items.empty()) ++non_empty;
+    const Recommendation rec = future.get();
+    if (rec.shed()) {
+      ++shed;  // refused by admission/queue: empty slate is the contract
+    } else if (rec.items.empty()) {
+      ++torn;  // a non-shed response must always carry a slate
+    } else {
+      ++served;
+    }
   }
   const double elapsed = serve_watch.ElapsedSeconds();
   const double qps = requests / elapsed;
@@ -240,9 +261,13 @@ int Main(int argc, char** argv) {
     std::printf("wrote metrics -> %s\n", metrics_out.c_str());
   }
 
-  if (non_empty != requests) {
-    std::fprintf(stderr, "%zu/%zu responses had empty slates\n",
-                 requests - non_empty, requests);
+  if (shed > 0) {
+    std::printf("shed %zu/%zu requests (served %zu)\n", shed, requests,
+                served);
+  }
+  if (torn > 0) {
+    std::fprintf(stderr, "%zu/%zu non-shed responses had empty slates\n",
+                 torn, requests);
     return 1;
   }
   return 0;
