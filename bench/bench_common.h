@@ -91,17 +91,24 @@ inline std::vector<uint64_t> MakeSeeds(size_t n) {
 // validator live together so the `bench-smoke` CTest leg can round-trip
 // what it wrote.
 
-inline constexpr const char* kKernelBenchSchema = "dtrec-bench-kernels-v1";
+// v2: adds the serving top-K sweep rows (variants dense / pruned /
+// quantized) and a mandatory recall@K column so the speed/recall tradeoff
+// of the sub-linear paths is pinned alongside their timings. The
+// validator requires the exact tag, so a stale v1 document is rejected.
+inline constexpr const char* kKernelBenchSchema = "dtrec-bench-kernels-v2";
 
 /// One timed kernel configuration. `speedup_vs_naive` is 1.0 for the
-/// naive reference rows themselves.
+/// naive reference rows themselves (and for the dense top-K baseline);
+/// `recall_at_k` is 1.0 for every exact kernel and measured against
+/// BruteForceTopK for the approximate sweeps.
 struct KernelBenchResult {
-  std::string kernel;   ///< e.g. "gemm", "gemm_trans_b", "row_dot"
-  std::string variant;  ///< "blocked" or "naive"
+  std::string kernel;   ///< e.g. "gemm", "row_dot", "row_dot_i8", "topk"
+  std::string variant;  ///< "blocked"/"naive" or "dense"/"pruned"/"quantized"
   size_t m = 0, k = 0, n = 0;
   double ns_per_op = 0.0;  ///< nanoseconds per kernel invocation
   double gflops = 0.0;     ///< 2·m·k·n (or 2·m·k) / time
   double speedup_vs_naive = 1.0;
+  double recall_at_k = 1.0;  ///< fraction of the oracle top-K returned
 };
 
 /// Build flavor stamp. The macros are injected by bench/CMakeLists.txt;
@@ -152,9 +159,9 @@ inline std::string KernelResultsToJson(
                   "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
                   "\"m\": %zu, \"k\": %zu, \"n\": %zu, "
                   "\"ns_per_op\": %.1f, \"gflops\": %.3f, "
-                  "\"speedup_vs_naive\": %.3f}%s\n",
+                  "\"speedup_vs_naive\": %.3f, \"recall_at_k\": %.4f}%s\n",
                   r.kernel.c_str(), r.variant.c_str(), r.m, r.k, r.n,
-                  r.ns_per_op, r.gflops, r.speedup_vs_naive,
+                  r.ns_per_op, r.gflops, r.speedup_vs_naive, r.recall_at_k,
                   i + 1 < results.size() ? "," : "");
     out += buf;
   }
@@ -277,9 +284,10 @@ inline void JsonCursor::SkipValue() {
 }  // namespace json_internal
 
 /// Structural schema validation of a BENCH_kernels.json document: schema
-/// tag, build stamp with the four flavor fields, and a non-empty results
-/// array whose entries carry the kernel/variant strings, the three shape
-/// dims, and positive timings. Returns OK or a message naming the first
+/// tag (exact v2 match — v1 files fail here), build stamp with the four
+/// flavor fields, and a non-empty results array whose entries carry the
+/// kernel/variant strings, the three shape dims, positive timings, and a
+/// recall@K in [0, 1]. Returns OK or a message naming the first
 /// violation.
 inline Status ValidateKernelBenchJson(const std::string& content) {
   using json_internal::JsonCursor;
@@ -308,28 +316,32 @@ inline Status ValidateKernelBenchJson(const std::string& content) {
       while (cur.ok) {
         bool has_kernel = false, has_variant = false;
         size_t dims = 0;
-        double ns = -1.0, gflops = -1.0;
+        double ns = -1.0, gflops = -1.0, recall = -1.0;
         cur.ParseObject([&](const std::string& rk) {
           if (rk == "kernel") {
             has_kernel = !cur.ParseString().empty();
           } else if (rk == "variant") {
             const std::string v = cur.ParseString();
-            has_variant = v == "blocked" || v == "naive";
+            has_variant = v == "blocked" || v == "naive" || v == "dense" ||
+                          v == "pruned" || v == "quantized";
           } else if (rk == "m" || rk == "k" || rk == "n") {
             if (cur.ParseNumber() >= 0.0) ++dims;
           } else if (rk == "ns_per_op") {
             ns = cur.ParseNumber();
           } else if (rk == "gflops") {
             gflops = cur.ParseNumber();
+          } else if (rk == "recall_at_k") {
+            recall = cur.ParseNumber();
           } else {
             cur.SkipValue();
           }
         });
         if (!(has_kernel && has_variant && dims == 3 && ns > 0.0 &&
-              gflops >= 0.0)) {
+              gflops >= 0.0 && recall >= 0.0 && recall <= 1.0)) {
           if (error.empty()) {
             error = "results[" + std::to_string(num_results) +
-                    "] missing kernel/variant/m/k/n or non-positive timing";
+                    "] missing kernel/variant/m/k/n/recall_at_k or "
+                    "non-positive timing";
           }
         }
         ++num_results;

@@ -1,8 +1,10 @@
 #include "serve/topk_scorer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "tensor/kernels.h"
 #include "util/failpoint.h"
 
 namespace dtrec::serve {
@@ -14,7 +16,223 @@ inline bool Better(const ScoredItem& a, const ScoredItem& b) {
   return a.item < b.item;
 }
 
+/// Bounded top-k selection over Better. With comp = Better ("less" =
+/// ranks earlier), the std heap root is the comp-maximum, i.e. the
+/// *worst* kept entry; each rejected candidate pays one comparison
+/// against the root once the heap is warm.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { slate_.reserve(k + 1); }
+
+  bool full() const { return slate_.size() >= k_; }
+  /// Requires full() (and k > 0): the worst entry currently kept.
+  const ScoredItem& worst() const { return slate_.front(); }
+  const std::vector<ScoredItem>& items() const { return slate_; }
+
+  void Offer(const ScoredItem& candidate) {
+    if (slate_.size() < k_) {
+      slate_.push_back(candidate);
+      std::push_heap(slate_.begin(), slate_.end(), Better);
+    } else if (k_ > 0 && Better(candidate, slate_.front())) {
+      std::pop_heap(slate_.begin(), slate_.end(), Better);
+      slate_.back() = candidate;
+      std::push_heap(slate_.begin(), slate_.end(), Better);
+    }
+  }
+
+  /// Consumes the heap into a best-first slate.
+  std::vector<ScoredItem> Sorted() && {
+    std::sort_heap(slate_.begin(), slate_.end(), Better);
+    return std::move(slate_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<ScoredItem> slate_;
+};
+
+/// Relative slack on the pruning bound: the bound is computed in a
+/// different floating-point order than the scores it dominates, so a few
+/// ulps of margin keep the early exit admissible despite rounding.
+constexpr double kBoundSlack = 1e-9;
+
+/// Thread-local sweep scratch. Survives across requests on the same
+/// worker thread (zero steady-state allocation), but shrinks once its
+/// capacity exceeds 2× what the live catalogue needs — otherwise a
+/// hot-swap from a large to a small catalogue would strand O(|I_old|)
+/// memory on every worker thread for the life of the process.
+std::vector<double>& ScoreScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+std::vector<int32_t>& QuantDotScratch() {
+  thread_local std::vector<int32_t> scratch;
+  return scratch;
+}
+
+std::vector<int8_t>& QuantUserScratch() {
+  thread_local std::vector<int8_t> scratch;
+  return scratch;
+}
+
+template <typename T>
+void ResizeScratch(std::vector<T>* scratch, size_t needed) {
+  if (scratch->capacity() > 2 * needed) std::vector<T>().swap(*scratch);
+  scratch->resize(needed);
+}
+
+/// Shard length for the blocked sweeps: a multiple of 4 (min 4) so every
+/// shard boundary lands on a BatchedRowDot 4-row group boundary and the
+/// sharded sweep scores each item in exactly the order the unsharded
+/// sweep would (only the final shard carries the ragged tail).
+size_t ShardLength(const ScoreCacheConfig& config) {
+  const size_t shard = config.sweep_shard_items -
+                       config.sweep_shard_items % 4;
+  return std::max<size_t>(shard, 4);
+}
+
+/// Dense exact sweep, sharded so the score scratch stays cache-sized on
+/// catalogues larger than LLC. k > 0, k <= num_items.
+std::vector<ScoredItem> DenseTopK(const ServingModel& model, size_t user,
+                                  size_t k, size_t shard_len) {
+  const size_t n = model.num_items();
+  BoundedTopK heap(k);
+  std::vector<double>& scores = ScoreScratch();
+  ResizeScratch(&scores, std::min(shard_len, n));
+  for (size_t begin = 0; begin < n; begin += shard_len) {
+    const size_t end = std::min(begin + shard_len, n);
+    model.ScoreItemRange(user, begin, end, scores.data());
+    for (size_t i = begin; i < end; ++i) {
+      heap.Offer({static_cast<uint32_t>(i), scores[i - begin]});
+    }
+  }
+  return std::move(heap).Sorted();
+}
+
+/// Norm-bound pruned sweep. Items are visited in ‖q_i‖-descending order;
+/// by Cauchy–Schwarz every score still ahead of position j is bounded by
+/// ‖p_u‖·‖q_order[j]‖ + bu_u + max-suffix-bias[j], so once that bound
+/// (plus FP slack) drops strictly below the heap root no remaining item
+/// can displace it. Scores come from SweepScore, which reproduces the
+/// dense path's accumulation order — the slate is bit-identical to
+/// DenseTopK/BruteForceTopK. The exit must be strict: a remaining item
+/// could still *tie* the root score with a lower id and rank better only
+/// if its bound equals the root, which the tie-break makes impossible
+/// only when bound < root.
+/// Items the chunked pruned sweep scores per bound check. A multiple of 4
+/// (every chunk stays group-aligned in the permuted table); small enough
+/// that a satisfied bound exits after little wasted work, large enough
+/// that BatchedRowDot runs at full blocked throughput.
+constexpr size_t kPrunedChunkItems = 64;
+
+std::vector<ScoredItem> PrunedTopK(const ServingModel& model, size_t user,
+                                   size_t k) {
+  const std::vector<uint32_t>& order = model.norm_order();
+  const std::vector<double>& bias_max = model.norm_order_bias_max();
+  const double pu_norm = model.user_norm(user);
+  const double ub = model.user_bias_or_zero(user);
+  const size_t n = order.size();
+  std::vector<double>& scores = ScoreScratch();
+  ResizeScratch(&scores, std::min(kPrunedChunkItems, (n + 3) & ~size_t{3}));
+  BoundedTopK heap(k);
+  // Chunked sweep down the ‖q‖-descending order: score a group-aligned
+  // chunk through the dense kernel (bit-identical per item), offer every
+  // score, and between chunks test the Cauchy–Schwarz + suffix-bias bound
+  // at the chunk head — it upper-bounds all items the sweep has not
+  // reached, so exiting on it is admissible. Checking per chunk instead
+  // of per item only delays the exit by < one chunk of work.
+  for (size_t j = 0; j < n; j += kPrunedChunkItems) {
+    if (heap.full()) {
+      const double pq = pu_norm * model.item_norm(order[j]);
+      const double bound = pq + (ub + bias_max[j]);
+      const double slack = kBoundSlack * (std::abs(pq) + std::abs(ub) +
+                                          std::abs(bias_max[j]));
+      if (bound + slack < heap.worst().score) break;
+    }
+    const size_t count = std::min(kPrunedChunkItems, n - j);
+    model.ScoreNormOrderedRange(user, j, count, scores.data());
+    for (size_t t = 0; t < count; ++t) {
+      heap.Offer({order[j + t], scores[t]});
+    }
+  }
+  return std::move(heap).Sorted();
+}
+
+/// Int8 approximate sweep + exact rerank. The quantized pass reads 8×
+/// less memory per item than the fp64 sweep and scores through the
+/// pmaddwd kernel; the top ~factor·k approximate candidates are then
+/// rescored exactly with SweepScore, so the returned doubles match the
+/// dense path bit-for-bit whenever the true top-K survives the shortlist.
+std::vector<ScoredItem> QuantizedTopK(const ServingModel& model, size_t user,
+                                      size_t k,
+                                      const ScoreCacheConfig& config) {
+  const size_t n = model.num_items();
+  const size_t d = model.dim();
+  const size_t factor = std::max<size_t>(config.quantized_shortlist_factor, 1);
+  const size_t shortlist_k = std::min(factor * k, n);
+
+  std::vector<int8_t>& quser = QuantUserScratch();
+  ResizeScratch(&quser, d);
+  double user_scale = 1.0;
+  int32_t user_sum = 0;
+  model.QuantizeUserVector(user, quser.data(), &user_scale, &user_sum);
+  const double ub = model.user_bias_or_zero(user);
+
+  const size_t shard_len = ShardLength(config);
+  std::vector<int32_t>& qdots = QuantDotScratch();
+  ResizeScratch(&qdots, std::min(shard_len, n));
+  BoundedTopK shortlist(shortlist_k);
+  for (size_t begin = 0; begin < n; begin += shard_len) {
+    const size_t end = std::min(begin + shard_len, n);
+    kernels::QuantizedRowDot(end - begin, d,
+                             model.quantized_items() + begin * d, d,
+                             quser.data(), qdots.data());
+    for (size_t i = begin; i < end; ++i) {
+      // Dequantized dot: su·s_i·(qdot − zp_i·Σb). The zp product is taken
+      // in double — zp is unbounded for rows centered far from zero.
+      const double approx =
+          user_scale * model.item_scale(i) *
+              (static_cast<double>(qdots[i - begin]) -
+               static_cast<double>(model.item_zero_point(i)) * user_sum) +
+          (ub + model.item_bias_or_zero(i));
+      shortlist.Offer({static_cast<uint32_t>(i), approx});
+    }
+  }
+
+  BoundedTopK exact(k);
+  for (const ScoredItem& candidate : shortlist.items()) {
+    exact.Offer({candidate.item, model.SweepScore(user, candidate.item)});
+  }
+  return std::move(exact).Sorted();
+}
+
 }  // namespace
+
+bool ParseTopKMode(const std::string& text, TopKMode* mode) {
+  if (text == "dense") {
+    *mode = TopKMode::kDense;
+  } else if (text == "pruned") {
+    *mode = TopKMode::kPruned;
+  } else if (text == "quantized") {
+    *mode = TopKMode::kQuantized;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* TopKModeName(TopKMode mode) {
+  switch (mode) {
+    case TopKMode::kDense:
+      return "dense";
+    case TopKMode::kPruned:
+      return "pruned";
+    case TopKMode::kQuantized:
+      return "quantized";
+  }
+  return "unknown";
+}
 
 TopKScorer::TopKScorer(ScoreCacheConfig cache_config)
     : config_(cache_config) {}
@@ -23,6 +241,13 @@ std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
                                          size_t user, size_t k,
                                          bool* cache_hit) {
   k = std::min(k, model.num_items());
+  if (k == 0) {
+    // Nothing to look up or store: an empty slate must not count as a
+    // cache hit (it used to inflate the cache-hit rate whenever *any*
+    // entry existed for the user) and must not touch LRU order.
+    if (cache_hit != nullptr) *cache_hit = false;
+    return {};
+  }
   std::vector<ScoredItem> slate;
   if (CachedSlate(model.generation(), user, k, &slate)) {
     if (cache_hit != nullptr) *cache_hit = true;
@@ -36,7 +261,10 @@ std::vector<ScoredItem> TopKScorer::TopK(const ServingModel& model,
 
 bool TopKScorer::CachedSlate(uint64_t generation, size_t user, size_t k,
                              std::vector<ScoredItem>* out) {
-  if (config_.capacity == 0) return false;
+  // k == 0 is never a hit: `slate.size() >= 0` holds for every cached
+  // entry, so without this guard an empty request would both report a hit
+  // and refresh the user's LRU position.
+  if (config_.capacity == 0 || k == 0) return false;
   return CacheLookup(user, generation, k, out);
 }
 
@@ -44,36 +272,21 @@ std::vector<ScoredItem> TopKScorer::ScoreFresh(const ServingModel& model,
                                                size_t user, size_t k) {
   DTREC_FAILPOINT("serve/score");
   k = std::min(k, model.num_items());
-
-  // Scratch survives across requests on the same worker thread: zero
-  // steady-state allocation for the dominant O(|I|) buffer.
-  thread_local std::vector<double> scores;
-  model.ScoreAllItems(user, &scores);
-
-  // Bounded min-heap over (score, item). With comp = Better ("less" =
-  // ranks earlier), the std heap root is the comp-maximum, i.e. the
-  // *worst* kept entry; each remaining item pays one comparison against
-  // the root once the heap is warm.
-  std::vector<ScoredItem> slate;
-  slate.reserve(k + 1);
-  for (uint32_t item = 0; item < scores.size(); ++item) {
-    const ScoredItem candidate{item, scores[item]};
-    if (slate.size() < k) {
-      slate.push_back(candidate);
-      std::push_heap(slate.begin(), slate.end(), Better);
-    } else if (k > 0 && Better(candidate, slate.front())) {
-      std::pop_heap(slate.begin(), slate.end(), Better);
-      slate.back() = candidate;
-      std::push_heap(slate.begin(), slate.end(), Better);
-    }
+  if (k == 0) return {};
+  switch (config_.mode) {
+    case TopKMode::kPruned:
+      return PrunedTopK(model, user, k);
+    case TopKMode::kQuantized:
+      return QuantizedTopK(model, user, k, config_);
+    case TopKMode::kDense:
+      break;
   }
-  std::sort_heap(slate.begin(), slate.end(), Better);  // best first
-  return slate;
+  return DenseTopK(model, user, k, ShardLength(config_));
 }
 
 void TopKScorer::StoreSlate(uint64_t generation, size_t user,
                             const std::vector<ScoredItem>& slate) {
-  if (config_.capacity == 0) return;
+  if (config_.capacity == 0 || slate.empty()) return;
   DTREC_FAILPOINT("serve/cache_fill");
   CacheStore(user, generation, slate);
 }
@@ -130,12 +343,18 @@ size_t TopKScorer::cache_size() const {
   return entries_.size();
 }
 
+size_t TopKScorer::ScratchCapacityForTesting() {
+  return ScoreScratch().capacity();
+}
+
 std::vector<ScoredItem> BruteForceTopK(const ServingModel& model, size_t user,
                                        size_t k) {
   std::vector<double> scores;
   model.ScoreAllItems(user, &scores);
   std::vector<ScoredItem> all(scores.size());
-  for (uint32_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  for (size_t i = 0; i < scores.size(); ++i) {
+    all[i] = {static_cast<uint32_t>(i), scores[i]};
+  }
   std::sort(all.begin(), all.end(), Better);
   all.resize(std::min(k, all.size()));
   return all;

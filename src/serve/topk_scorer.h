@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -19,17 +20,51 @@ struct ScoredItem {
   double score = 0.0;
 };
 
-/// Score-cache knobs. capacity == 0 disables caching entirely.
-struct ScoreCacheConfig {
-  size_t capacity = 1024;  ///< max users with a cached slate (LRU-evicted)
+/// How ScoreFresh sweeps the catalogue. All three modes share the bounded
+/// heap and the deterministic ordering contract (score desc, ties by item
+/// id asc); they differ only in how much of the catalogue they touch.
+enum class TopKMode {
+  /// Full O(|I|·d) pass in item-sharded blocks (the default; exact).
+  kDense = 0,
+  /// Norm-bound pruned sweep: items visited in ‖q_i‖-descending order,
+  /// early-exiting once the Cauchy–Schwarz bound on every remaining item
+  /// falls below the heap root. Bit-identical to the dense path.
+  kPruned = 1,
+  /// Int8 approximate sweep shortlisting ~factor·K candidates, then an
+  /// exact fp64 rerank — returned scores are exact doubles, but an item
+  /// squeezed out of the shortlist by quantization error can be missed
+  /// (recall@K is pinned by the bench, not guaranteed).
+  kQuantized = 2,
 };
 
-/// Scores a user against the full catalogue and keeps the top K.
+/// Parses "dense" / "pruned" / "quantized" (the dtrec_serve / bench knob
+/// spelling). Returns false, leaving `mode` untouched, on anything else.
+bool ParseTopKMode(const std::string& text, TopKMode* mode);
+const char* TopKModeName(TopKMode mode);
+
+/// Score-cache + sweep knobs. capacity == 0 disables caching entirely.
+struct ScoreCacheConfig {
+  size_t capacity = 1024;  ///< max users with a cached slate (LRU-evicted)
+  TopKMode mode = TopKMode::kDense;  ///< ScoreFresh sweep strategy
+  /// Item-shard size for the dense/quantized sweeps: scores are produced
+  /// in blocks of this many items so the scratch buffer stays cache-sized
+  /// on large catalogues. Rounded down to a multiple of 4 (min 4) so shard
+  /// boundaries preserve BatchedRowDot's 4-row grouping and sharded
+  /// results stay bit-identical to an unsharded pass.
+  size_t sweep_shard_items = 32768;
+  /// Quantized-mode shortlist size as a multiple of the requested K
+  /// (clamped to ≥ 1 and to the catalogue size).
+  size_t quantized_shortlist_factor = 4;
+};
+
+/// Scores a user against the catalogue and keeps the top K.
 ///
-/// Scoring runs ServingModel::ScoreAllItems (blocked dot-product kernel)
-/// into a thread-local scratch buffer, then selects K via a bounded
-/// min-heap — O(|I|·d + |I|·log K), no full argsort, no per-request
-/// allocation on the steady state.
+/// The dense mode runs ServingModel::ScoreItemRange (blocked dot-product
+/// kernel) shard by shard into a thread-local scratch buffer, feeding a
+/// bounded min-heap — O(|I|·d + |I|·log K), no full argsort, no
+/// per-request allocation on the steady state. The pruned and quantized
+/// modes (see TopKMode) cut the |I|·d term sub-linear; DESIGN.md §5j has
+/// the math.
 ///
 /// Ordering is deterministic: score descending, ties broken by item id
 /// ascending (so results are reproducible and testable against a
@@ -79,6 +114,11 @@ class TopKScorer {
   void InvalidateAll();
 
   size_t cache_size() const;
+
+  /// Capacity of the calling thread's score-scratch buffer — test hook for
+  /// the shrink-after-hot-swap policy (a large→small catalogue swap must
+  /// not strand O(|I_old|) doubles on every worker thread forever).
+  static size_t ScratchCapacityForTesting();
 
  private:
   struct CacheEntry {

@@ -153,6 +153,69 @@ TEST(KernelsTest, BatchedRowDotBroadcastsWithZeroStride) {
   }
 }
 
+TEST(KernelsTest, QuantizedRowDotMatchesNaiveExactly) {
+  // Integer arithmetic: the SIMD and scalar paths must agree bit-for-bit
+  // (EXPECT_EQ, no tolerance), including at the int8 extremes and across
+  // every SIMD-width boundary of k.
+  Rng rng(17);
+  for (size_t m : {size_t{1}, size_t{3}, size_t{4}, size_t{5}, size_t{63}}) {
+    for (size_t k : {size_t{1}, size_t{7}, size_t{8}, size_t{15}, size_t{16},
+                     size_t{17}, size_t{33}}) {
+      std::vector<int8_t> a(m * k), b(k);
+      for (int8_t& v : a) {
+        v = static_cast<int8_t>(static_cast<int>(rng.UniformIndex(255)) - 127);
+      }
+      for (int8_t& v : b) {
+        v = static_cast<int8_t>(static_cast<int>(rng.UniformIndex(255)) - 127);
+      }
+      // Plant the extremes so saturation bugs in the widening path show.
+      a[0] = -127;
+      b[0] = 127;
+      std::vector<int32_t> fast(m), ref(m);
+      kernels::QuantizedRowDot(m, k, a.data(), k, b.data(), fast.data());
+      kernels::naive::QuantizedRowDot(m, k, a.data(), k, b.data(),
+                                      ref.data());
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(fast[i], ref[i]) << "m=" << m << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BatchedRowDotLanesArePositionIndependent) {
+  // Pins the bit-identity contract the serving sweeps rely on: a body
+  // row's value (i < m − m%4) depends only on its own data — re-scoring
+  // it through a 4-row call over its aligned group reproduces the exact
+  // bits — and a ragged-tail row equals a 1-row call. EXPECT_EQ on raw
+  // doubles: if the compiler ever specializes the body and tail loops
+  // with different FP contraction for small m, this is the alarm.
+  Rng rng(18);
+  for (size_t m : {size_t{4}, size_t{5}, size_t{6}, size_t{7}, size_t{11},
+                   size_t{12}}) {
+    for (size_t k : {size_t{1}, size_t{8}, size_t{17}}) {
+      const Matrix a = Matrix::RandomNormal(m, k, 1.0, &rng);
+      const Matrix b = Matrix::RandomNormal(1, k, 1.0, &rng);
+      std::vector<double> batched(m);
+      kernels::BatchedRowDot(m, k, a.data(), k, b.data(), 0, batched.data());
+      const size_t tail_begin = m - m % 4;
+      for (size_t g = 0; g < tail_begin; g += 4) {
+        double lanes[4];
+        kernels::BatchedRowDot(4, k, a.row(g), k, b.data(), 0, lanes);
+        for (size_t lane = 0; lane < 4; ++lane) {
+          EXPECT_EQ(batched[g + lane], lanes[lane])
+              << "m=" << m << " k=" << k << " row " << g + lane;
+        }
+      }
+      for (size_t i = tail_begin; i < m; ++i) {
+        double solo;
+        kernels::BatchedRowDot(1, k, a.row(i), k, b.data(), 0, &solo);
+        EXPECT_EQ(batched[i], solo) << "m=" << m << " k=" << k << " row "
+                                    << i;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ NaN propagation
 //
 // Regression for the seed's `aik == 0.0` sparsity skip in MatMul /

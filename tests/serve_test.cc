@@ -224,6 +224,278 @@ TEST(TopKScorerTest, GenerationMismatchBypassesStaleEntry) {
   EXPECT_DOUBLE_EQ(new_slate[0].score, 8.0);  // dim·2
 }
 
+// ------------------------------------------- sub-linear top-K sweeps
+
+// Equivalence fixtures: each one stresses a different hazard of the
+// pruned early-exit (exact ties, all-negative scores, a zero-norm user,
+// bias-dominated ranking). The contract under test is *bit-identity*:
+// EXPECT_EQ on the raw doubles, not EXPECT_DOUBLE_EQ.
+
+/// 101 items sharing 5 distinct factor rows → every score is exactly tied
+/// with ~20 other items, so ordering is decided purely by the id
+/// tie-break and a premature bound-exit would drop tied items.
+ServingModel TieHeavyModel() {
+  Rng rng(71);
+  const size_t users = 6, items = 101, dim = 4;
+  const Matrix base = Matrix::RandomNormal(5, dim, 1.0, &rng);
+  Matrix q(items, dim);
+  for (size_t i = 0; i < items; ++i) {
+    for (size_t d = 0; d < dim; ++d) q(i, d) = base(i % 5, d);
+  }
+  auto model = ServingModel::FromFactors(
+      Matrix::RandomNormal(users, dim, 1.0, &rng), std::move(q), Matrix(),
+      Matrix(), std::vector<double>(items, 1.0));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+/// Constant item bias of −5 pushes every score negative: the norm bound
+/// ‖p‖·‖q‖ is then far above every real score, and the suffix-bias term
+/// must carry the early exit.
+ServingModel NegativeScoreModel() {
+  Rng rng(72);
+  const size_t users = 5, items = 90, dim = 6;
+  auto model = ServingModel::FromFactors(
+      Matrix::RandomNormal(users, dim, 0.3, &rng),
+      Matrix::RandomNormal(items, dim, 0.3, &rng), Matrix(),
+      Matrix::Constant(items, 1, -5.0), std::vector<double>(items, 1.0));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+/// User 0's factor row is all zeros (‖p‖ = 0 collapses the norm bound to
+/// the bias term alone); item bias decides the whole ranking.
+ServingModel ZeroNormUserModel() {
+  Rng rng(73);
+  const size_t users = 4, items = 75, dim = 6;
+  Matrix p = Matrix::RandomNormal(users, dim, 1.0, &rng);
+  for (size_t d = 0; d < dim; ++d) p(0, d) = 0.0;
+  auto model = ServingModel::FromFactors(
+      std::move(p), Matrix::RandomNormal(items, dim, 1.0, &rng),
+      Matrix::RandomNormal(users, 1, 0.5, &rng),
+      Matrix::RandomNormal(items, 1, 1.0, &rng),
+      std::vector<double>(items, 1.0));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+/// Tiny factors (0.01 scale) under a large item bias (σ = 5): ranking is
+/// decided almost entirely by the bias, the term the norm-order sweep is
+/// *not* sorted by.
+ServingModel BiasDominatedModel() {
+  Rng rng(74);
+  const size_t users = 5, items = 120, dim = 8;
+  auto model = ServingModel::FromFactors(
+      Matrix::RandomNormal(users, dim, 0.01, &rng),
+      Matrix::RandomNormal(items, dim, 0.01, &rng),
+      Matrix::RandomNormal(users, 1, 0.5, &rng),
+      Matrix::RandomNormal(items, 1, 5.0, &rng),
+      std::vector<double>(items, 1.0));
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+/// Asserts `mode` reproduces BruteForceTopK bit-for-bit (items and raw
+/// double scores) for every user at a spread of K values.
+void ExpectBitIdenticalTopK(const ServingModel& model, TopKMode mode,
+                            size_t sweep_shard_items = 32768) {
+  ScoreCacheConfig config;
+  config.capacity = 0;
+  config.mode = mode;
+  config.sweep_shard_items = sweep_shard_items;
+  TopKScorer scorer(config);
+  const size_t n = model.num_items();
+  for (size_t user = 0; user < model.num_users(); ++user) {
+    for (const size_t k : {size_t{1}, size_t{3}, size_t{10}, n, n + 9}) {
+      const auto got = scorer.ScoreFresh(model, user, k);
+      const auto want = BruteForceTopK(model, user, k);
+      ASSERT_EQ(got.size(), want.size())
+          << TopKModeName(mode) << " user " << user << " k " << k;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].item, want[i].item)
+            << TopKModeName(mode) << " user " << user << " k " << k
+            << " rank " << i;
+        ASSERT_EQ(got[i].score, want[i].score)  // bit-identical, not NEAR
+            << TopKModeName(mode) << " user " << user << " k " << k
+            << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(SubLinearTopKTest, PrunedIsBitIdenticalAcrossEquivalenceFixtures) {
+  ExpectBitIdenticalTopK(TieHeavyModel(), TopKMode::kPruned);
+  ExpectBitIdenticalTopK(NegativeScoreModel(), TopKMode::kPruned);
+  ExpectBitIdenticalTopK(ZeroNormUserModel(), TopKMode::kPruned);
+  ExpectBitIdenticalTopK(BiasDominatedModel(), TopKMode::kPruned);
+}
+
+TEST(SubLinearTopKTest, PrunedIsBitIdenticalOnRandomBiasedModels) {
+  ExpectBitIdenticalTopK(RandomModel(40, 157, 12, 7, /*with_bias=*/true),
+                         TopKMode::kPruned);
+  ExpectBitIdenticalTopK(RandomModel(20, 128, 16, 8, /*with_bias=*/false),
+                         TopKMode::kPruned);
+}
+
+TEST(SubLinearTopKTest, ShardedDenseSweepIsBitIdentical) {
+  // Shard far smaller than the catalogue (8 items, and a deliberately
+  // unaligned 9 → rounded down to 8) so many shard boundaries are
+  // crossed; every boundary must land on a BatchedRowDot group boundary.
+  ExpectBitIdenticalTopK(RandomModel(12, 157, 12, 9, /*with_bias=*/true),
+                         TopKMode::kDense, /*sweep_shard_items=*/8);
+  ExpectBitIdenticalTopK(TieHeavyModel(), TopKMode::kDense,
+                         /*sweep_shard_items=*/9);
+}
+
+TEST(SubLinearTopKTest, SweepScoreMatchesScoreAllItemsBitForBit) {
+  // The primitive behind both sub-linear paths: per-item re-scoring must
+  // reproduce the dense kernel's accumulation (body-group vs ragged-tail
+  // order, fused bias add) exactly, including across the tail boundary.
+  for (const size_t items : {size_t{157}, size_t{160}}) {  // tail of 1, 0
+    const ServingModel model =
+        RandomModel(6, items, 12, 41, /*with_bias=*/true);
+    std::vector<double> dense;
+    for (size_t user = 0; user < model.num_users(); ++user) {
+      model.ScoreAllItems(user, &dense);
+      for (size_t i = 0; i < items; ++i) {
+        ASSERT_EQ(model.SweepScore(user, i), dense[i])
+            << "items " << items << " user " << user << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(SubLinearTopKTest, QuantizedRecallIsPerfectOnCommittedFixtures) {
+  // The rerank returns exact doubles, so whenever the true top-K survives
+  // the int8 shortlist the slate must equal the oracle's exactly. These
+  // fixtures are the committed synthetic models the bench also pins
+  // recall@K = 1.0 on.
+  const size_t k = 10;
+  ScoreCacheConfig config;
+  config.capacity = 0;
+  config.mode = TopKMode::kQuantized;
+  for (const ServingModel& model :
+       {RandomModel(20, 300, 16, 42), RandomModel(20, 300, 16, 43),
+        NegativeScoreModel(), ZeroNormUserModel(), BiasDominatedModel()}) {
+    TopKScorer scorer(config);
+    for (size_t user = 0; user < model.num_users(); ++user) {
+      const auto got = scorer.ScoreFresh(model, user, k);
+      const auto want = BruteForceTopK(model, user, k);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].item, want[i].item) << "user " << user << " rank "
+                                             << i;
+        ASSERT_EQ(got[i].score, want[i].score);
+      }
+    }
+  }
+}
+
+TEST(SubLinearTopKTest, ModesAgreeThroughTheFullTopKPath) {
+  // Same slates through TopK() (cache enabled) as through ScoreFresh —
+  // the cache stores whatever the mode computed, tagged by generation.
+  const ServingModel model = RandomModel(10, 200, 8, 55, /*with_bias=*/true);
+  for (const TopKMode mode : {TopKMode::kPruned, TopKMode::kQuantized}) {
+    ScoreCacheConfig config;
+    config.capacity = 16;
+    config.mode = mode;
+    TopKScorer scorer(config);
+    bool hit = true;
+    const auto cold = scorer.TopK(model, 3, 12, &hit);
+    EXPECT_FALSE(hit);
+    const auto warm = scorer.TopK(model, 3, 12, &hit);
+    EXPECT_TRUE(hit);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(cold[i].item, warm[i].item);
+      EXPECT_EQ(cold[i].score, warm[i].score);
+    }
+  }
+}
+
+// ------------------------------------------------- hot-path bug fixes
+
+TEST(TopKScorerTest, ScoreScratchShrinksAfterCatalogueShrinks) {
+  // A hot swap from a large to a small catalogue must not strand the big
+  // scratch on the worker thread: capacity policy is "shrink when > 2×
+  // the live need".
+  const ServingModel big = RandomModel(4, 5000, 8, 31);
+  const ServingModel small = RandomModel(4, 64, 8, 32);
+  TopKScorer scorer(ScoreCacheConfig{.capacity = 0});
+  scorer.ScoreFresh(big, 0, 10);
+  EXPECT_GE(TopKScorer::ScratchCapacityForTesting(), 5000u);
+  scorer.ScoreFresh(small, 0, 10);
+  EXPECT_LE(TopKScorer::ScratchCapacityForTesting(), 128u);
+  // And the shrunken scratch still scores correctly.
+  const auto got = scorer.ScoreFresh(small, 1, 5);
+  const auto want = BruteForceTopK(small, 1, 5);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item);
+  }
+}
+
+TEST(TopKScorerTest, ZeroKIsNeverACacheHitAndLeavesLruUntouched) {
+  const ServingModel model = RandomModel(6, 30, 4, 33);
+  TopKScorer scorer(ScoreCacheConfig{.capacity = 2});
+  bool hit = true;
+  scorer.TopK(model, 0, 5, &hit);  // cache: {0}
+  scorer.TopK(model, 1, 5, &hit);  // cache: {1, 0}
+
+  // k == 0 used to report a hit whenever *any* entry existed for the user
+  // (slate.size() < 0 is never true), inflating the hit rate the SLO gate
+  // reads, and its lookup refreshed the user's LRU slot as a side effect.
+  const auto empty = scorer.TopK(model, 0, 0, &hit);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(hit);
+  std::vector<ScoredItem> out;
+  EXPECT_FALSE(scorer.CachedSlate(model.generation(), 0, 0, &out));
+  EXPECT_EQ(scorer.cache_size(), 2u);
+
+  // Had the k=0 lookup spliced user 0 to the LRU front, user 1 would now
+  // be the eviction victim. Inserting user 2 must evict user 0 instead.
+  scorer.TopK(model, 2, 5, &hit);  // evicts 0 → {2, 1}
+  scorer.TopK(model, 1, 5, &hit);
+  EXPECT_TRUE(hit) << "user 1 must survive the k=0 lookup";
+  scorer.TopK(model, 0, 5, &hit);
+  EXPECT_FALSE(hit) << "user 0 must have been the LRU victim";
+}
+
+TEST(ServingModelTest, OversizedCatalogueIsRejected) {
+  // ScoredItem::item and the sweep orders are uint32: FromFactors must
+  // reject catalogues that would silently wrap instead of truncating.
+  EXPECT_TRUE(ServingModel::ValidateCatalogueSize(0).ok());
+  EXPECT_TRUE(ServingModel::ValidateCatalogueSize(1u << 20).ok());
+  EXPECT_TRUE(
+      ServingModel::ValidateCatalogueSize(ServingModel::kMaxCatalogueItems)
+          .ok());
+  const Status st = ServingModel::ValidateCatalogueSize(
+      ServingModel::kMaxCatalogueItems + 1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServingModelTest, FusedBiasPassMatchesPointScore) {
+  // ScoreAllItems folds user+item bias in one pass; Score() remains the
+  // sequential reference. They agree to rounding (the fused pass adds
+  // (ub + bi) as one term), and bit-exactly when either bias is absent.
+  const ServingModel biased = RandomModel(8, 60, 8, 61, /*with_bias=*/true);
+  std::vector<double> scores;
+  for (size_t u = 0; u < biased.num_users(); ++u) {
+    biased.ScoreAllItems(u, &scores);
+    for (size_t i = 0; i < biased.num_items(); ++i) {
+      EXPECT_NEAR(scores[i], biased.Score(u, i), 1e-12);
+    }
+  }
+  const ServingModel plain = RandomModel(8, 60, 8, 62, /*with_bias=*/false);
+  for (size_t u = 0; u < plain.num_users(); ++u) {
+    plain.ScoreAllItems(u, &scores);
+    for (size_t i = 0; i < plain.num_items(); ++i) {
+      EXPECT_EQ(scores[i], plain.SweepScore(u, i));
+    }
+  }
+}
+
 // -------------------------------------------------------- ModelRegistry
 
 TEST(ModelRegistryTest, PublishAssignsMonotonicGenerations) {

@@ -12,6 +12,8 @@
 //   k=10              slate size
 //   deadline_ms=50    per-request deadline (0 = degrade everything, -1 = off)
 //   cache=1024        score-cache capacity in users (0 disables)
+//   topk_mode=dense   scoring sweep: dense | pruned | quantized
+//   sweep_shard=32768 item-shard size for the blocked scoring sweeps
 //   swap_mid_run=1    retrain + hot-swap a second checkpoint halfway
 //   epochs=10 dim=16 seed=42   training knobs
 //   ckpt=<path>       checkpoint to load instead of training from scratch
@@ -177,6 +179,19 @@ int Main(int argc, char** argv) {
   server_config.default_k = k;
   server_config.default_deadline_ms = deadline_ms;
   server_config.cache.capacity = cache;
+  if (args.count("topk_mode") &&
+      !serve::ParseTopKMode(args.at("topk_mode"),
+                            &server_config.cache.mode)) {
+    std::fprintf(stderr,
+                 "error: topk_mode must be dense, pruned or quantized "
+                 "(got \"%s\")\n",
+                 args.at("topk_mode").c_str());
+    return 2;
+  }
+  if (args.count("sweep_shard")) {
+    server_config.cache.sweep_shard_items =
+        static_cast<size_t>(GetNum(args, "sweep_shard", 32768));
+  }
   server_config.stats_dump_period_s = GetNum(args, "stats_every_s", 0.0);
   // Overload-resilience knobs (all default off — an unconfigured run
   // admits everything): bounded worker queue, token-bucket admission
@@ -191,8 +206,9 @@ int Main(int argc, char** argv) {
   RecommendServer server(&registry, server_config);
 
   std::printf("serving %zu requests on %zu threads (k=%zu, deadline=%gms, "
-              "cache=%zu users)...\n",
-              requests, threads, k, deadline_ms, cache);
+              "cache=%zu users, topk=%s)...\n",
+              requests, threads, k, deadline_ms, cache,
+              serve::TopKModeName(server_config.cache.mode));
   Rng traffic_rng(seed + 1);
   const Stopwatch serve_watch;
   std::vector<std::future<Recommendation>> futures;

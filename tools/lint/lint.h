@@ -47,6 +47,16 @@
 //                        formatting and fatal handling stay uniform; CLI
 //                        mains under tools/ may write stderr directly
 //
+// Known hazard with no textual rule (yet): size_t → uint32_t narrowing.
+// Serving stores item ids as uint32_t (ScoredItem::item, the sweep
+// orders), so a `static_cast<uint32_t>(i)` over a catalogue-sized loop
+// silently wraps past 2³² items. A lexical linter cannot tell a
+// narrowing cast from a benign one, so the bound is enforced at runtime
+// instead: ServingModel::ValidateCatalogueSize rejects oversized
+// catalogues at FromFactors time (see serving_model.h). If a dataflow
+// pass ever lands in dtrec_analyze, "uint32 id narrowing outside a
+// ValidateCatalogueSize-guarded scope" is the rule to add.
+//
 // A suppression comment applies to its own line and the line directly
 // below it, so both trailing and standalone-comment-above styles work:
 //
