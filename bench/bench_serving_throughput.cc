@@ -11,6 +11,11 @@
 //                  topk_mode=dense (comma list of dense|pruned|quantized —
 //                  the thread sweep reruns per mode, so pruned-vs-dense
 //                  throughput is one run: topk_mode=dense,pruned)
+//                  trace-out= profile-out= (arm request tracing / attach
+//                  the SIGPROF profiler for the whole sweep and write the
+//                  artifacts — this is the DESIGN.md §5k overhead
+//                  protocol: fixed-load QPS here is far less noisy than
+//                  the replay's SLO capacity search)
 //
 // The bench keeps ServerConfig::max_queue at its unbounded default so
 // every request is admitted and the numbers measure the scoring path,
@@ -29,6 +34,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "util/atomic_file.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
 #include "serve/topk_scorer.h"
@@ -54,6 +62,8 @@ struct Args {
   size_t unique_users = 0;
   uint64_t seed = 42;
   std::vector<serve::TopKMode> modes = {serve::TopKMode::kDense};
+  std::string trace_out;
+  std::string profile_out;
 };
 
 Args Parse(int argc, char** argv) {
@@ -90,6 +100,10 @@ Args Parse(int argc, char** argv) {
       args.unique_users = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "seed") {
       args.seed = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "trace-out") {
+      args.trace_out = value;
+    } else if (key == "profile-out") {
+      args.profile_out = value;
     } else if (key == "topk_mode") {
       args.modes.clear();
       for (const std::string& part : Split(value, ',')) {
@@ -181,6 +195,20 @@ int Main(int argc, char** argv) {
   serve::ModelRegistry registry;
   registry.Publish(MakeModel(args));
 
+  // Diagnosis-layer attach (the §5k overhead protocol runs this bench
+  // with and without these keys and compares fixed-load QPS).
+  if (!args.trace_out.empty()) obs::EnableTracing();
+  bool profiling = false;
+  if (!args.profile_out.empty()) {
+    obs::ProfilerOptions prof_options;
+    prof_options.interval_us = 2000;  // match the replay's attach
+    if (const Status st = obs::StartProfiler(prof_options); st.ok()) {
+      profiling = true;
+    } else {
+      std::printf("profiler not attached: %s\n", st.ToString().c_str());
+    }
+  }
+
   TableWriter table(StrFormat(
       "serving throughput: %zu requests/point, %zux%zu model dim %zu, "
       "k=%zu, cache=%zu",
@@ -214,6 +242,32 @@ int Main(int argc, char** argv) {
                     std::thread::hardware_concurrency());
       }
     }
+  }
+
+  if (profiling) {
+    if (const Status st = obs::StopProfiler(); !st.ok()) {
+      std::fprintf(stderr, "profiler stop: %s\n", st.ToString().c_str());
+    }
+    const obs::ProfileReport report = obs::CollectProfile();
+    if (const Status st =
+            WriteFileAtomic(args.profile_out, obs::CollapsedStacks(report));
+        !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.profile_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile: %llu samples, %zu distinct stacks -> %s\n",
+                static_cast<unsigned long long>(report.samples),
+                report.stacks.size(), args.profile_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    obs::DisableTracing();
+    if (const Status st = obs::WriteTraceJson(args.trace_out); !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.trace_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace -> %s\n", args.trace_out.c_str());
   }
 
   table.RenderConsole(std::cout);

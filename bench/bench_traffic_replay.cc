@@ -19,7 +19,9 @@
 //                     queue + depth cap: measures the shed rate and that
 //                     sheds stay O(1)-cheap under overload.
 //
-//   bench_traffic_replay [--smoke] [--json=PATH] [key=value ...]
+//   bench_traffic_replay [--smoke] [--json=PATH] [--trace-out=PATH]
+//                        [--profile-out=PATH] [--alerts-out=PATH]
+//                        [key=value ...]
 //   bench_traffic_replay --validate=PATH     schema-check a JSON, exit
 //   bench_traffic_replay --gate=PATH         validate + enforce the
 //       per-core SLO-throughput floor (Release/unsanitized builds only;
@@ -28,19 +30,36 @@
 // keys (defaults): users=2000 items=2000 dim=32 k=10 cache=4096
 //                  threads=0 (0 → hardware) requests=30000 slo_ms=5
 //                  zipf=1.1 seed=42 floor=0 (0 → built-in gate floor)
+//
+// Telemetry: `--trace-out` arms span recording and writes the Chrome
+// trace JSON; `--profile-out` attaches the SIGPROF sampling profiler and
+// writes collapsed stacks there (plus dtrec-profile-v1 JSON at
+// PATH.json); `--alerts-out` streams the watchdog's dtrec-alerts-v1
+// JSONL. A telemetry watchdog always runs across the phases and GATES the
+// result both ways: any alert during warmup/capacity fails the run, and
+// the saturation flood must trip the shed_spike rule. With --trace-out
+// the run also proves the exemplar loop end-to-end: the capacity phase's
+// p99-bucket exemplar trace id must resolve to span events in the flushed
+// trace (strict under --smoke, where the rings cannot wrap).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry_validate.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
 #include "tensor/matrix.h"
@@ -74,7 +93,28 @@ struct Args {
   double floor = 0.0;  // 0 → kDefaultPerCoreFloor
   bool smoke = false;
   std::string json_path = "BENCH_serving.json";
+  std::string trace_out;    // arms tracing; Chrome trace JSON path
+  std::string profile_out;  // collapsed stacks path (+ PATH.json report)
+  std::string alerts_out;   // dtrec-alerts-v1 JSONL path
 };
+
+/// True for the build flavor whose numbers are comparable to the recorded
+/// Release baseline. Sanitized/debug flavors keep the watchdog armed but
+/// scale the latency-burn threshold so only the *shape* of the alerts is
+/// gated there, not Release-grade latency.
+bool ReleaseUnsanitizedBuild() {
+#ifdef DTREC_BENCH_BUILD_TYPE
+  const bool release = std::string(DTREC_BENCH_BUILD_TYPE) == "Release";
+#else
+  const bool release = false;
+#endif
+#ifdef DTREC_BENCH_SANITIZE
+  const bool unsanitized = std::string(DTREC_BENCH_SANITIZE).empty();
+#else
+  const bool unsanitized = true;
+#endif
+  return release && unsanitized;
+}
 
 size_t ResolveThreads(const Args& args) {
   if (args.threads > 0) return args.threads;
@@ -333,6 +373,12 @@ int Main(int argc, char** argv) {
       args.smoke = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      args.trace_out = arg.substr(12);
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      args.profile_out = arg.substr(14);
+    } else if (arg.rfind("--alerts-out=", 0) == 0) {
+      args.alerts_out = arg.substr(13);
     } else if (arg.rfind("--validate=", 0) == 0) {
       validate_path = arg.substr(11);
     } else if (arg.rfind("--gate=", 0) == 0) {
@@ -340,8 +386,10 @@ int Main(int argc, char** argv) {
     } else {
       const size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH] "
-                             "[--validate=PATH] [--gate=PATH] [key=value]\n",
+        std::fprintf(stderr,
+                     "usage: %s [--smoke] [--json=PATH] [--trace-out=PATH] "
+                     "[--profile-out=PATH] [--alerts-out=PATH] "
+                     "[--validate=PATH] [--gate=PATH] [key=value]\n",
                      argv[0]);
         return 2;
       }
@@ -400,6 +448,54 @@ int Main(int argc, char** argv) {
   config.metrics_prefix = "replay";
   serve::RecommendServer server(&registry, config);
 
+  if (!args.trace_out.empty()) obs::EnableTracing();
+
+  // Attach the sampling profiler across every phase. NotSupported (the
+  // sanitized builds compile the profiler out) downgrades to a note: the
+  // bench still runs, the profile artifacts are simply absent.
+  bool profiling = false;
+  if (!args.profile_out.empty()) {
+    obs::ProfilerOptions prof_options;
+    // Library default (2 ms of CPU between samples): one signal per ~1k
+    // requests at capacity, which keeps the profiler inside the §5k
+    // overhead budget while a full replay still collects dozens of
+    // scoring-frame samples.
+    prof_options.interval_us = 2000;
+    if (const Status st = obs::StartProfiler(prof_options); st.ok()) {
+      profiling = true;
+    } else {
+      std::printf("profiler not attached: %s\n", st.ToString().c_str());
+    }
+  }
+
+  // The watchdog rules gated below. The p99 burn threshold is the SLO on
+  // the Release flavor and 100x that elsewhere — sanitizer slowdowns are
+  // not latency regressions, but the alert plumbing must still prove out.
+  const double burn_threshold_us =
+      args.slo_ms * 1e3 * (ReleaseUnsanitizedBuild() ? 1.0 : 100.0);
+  const std::string rules_text = StrFormat(
+      "p99_slo_burn: p99:replay.total_us, 0.25, %.1f, above\n"
+      "shed_spike: rate:replay_flood.rung_shed/replay_flood.requests, "
+      "0.25, 0.25, above\n"
+      "breaker_storm: delta:replay.breaker.scorer.open_transitions, "
+      "0.25, 5, above\n",
+      burn_threshold_us);
+  std::vector<obs::WatchRule> rules;
+  if (const Status st = obs::ParseWatchdogRules(rules_text, &rules);
+      !st.ok()) {
+    std::fprintf(stderr, "watchdog rules: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  obs::Watchdog::Options watch_options;
+  watch_options.alerts_path = args.alerts_out;
+  obs::Watchdog watchdog(&metrics, std::move(rules), watch_options);
+  watchdog.SetContext("warmup");
+  watchdog.Poll();  // prime every rule's window before traffic starts
+  if (const Status st = watchdog.Start(0.25); !st.ok()) {
+    std::fprintf(stderr, "watchdog: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // Warm-up: touch every page and let the hot Zipf head fill the cache.
   {
     Rng rng(args.seed);
@@ -409,16 +505,31 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<PhaseResult> phases;
+  watchdog.SetContext("capacity");
   phases.push_back(
       RunCapacity(&server, zipf, args, threads, args.requests));
+  watchdog.ForceEvaluate();
+
+  // The capacity phase's tail exemplar, captured before the next phase's
+  // ResetStats clears the histogram: the trace id of the worst request in
+  // the p99 bucket, resolved against the flushed trace below.
+  const obs::Histogram::Exemplar tail_exemplar = obs::Histogram::ExemplarNear(
+      metrics.GetHistogram("replay.total_us")->TakeSnapshot(), 0.99);
+
+  watchdog.SetContext("diurnal_burst");
   phases.push_back(RunDiurnalBurst(&server, zipf, args, args.requests / 3));
+  watchdog.ForceEvaluate();
+  watchdog.SetContext("cold_flood");
   {
     serve::ServerConfig cold_config = config;
     cold_config.metrics_prefix = "replay_cold";
     serve::RecommendServer cold_server(&registry, cold_config);
     phases.push_back(RunColdFlood(&cold_server, args, args.requests / 3));
   }
+  watchdog.ForceEvaluate();
+  watchdog.SetContext("deadline_mix");
   phases.push_back(RunDeadlineMix(&server, zipf, args, args.requests / 3));
+  watchdog.ForceEvaluate();
 
   // The flood gets its own server with a tight queue + admission depth
   // cap: the point is refusal behavior, not scoring throughput.
@@ -427,12 +538,146 @@ int Main(int argc, char** argv) {
   flood_config.max_queue = 2 * threads;
   flood_config.admission.max_queue_depth = 2 * threads;
   flood_config.default_deadline_ms = args.slo_ms;
+  watchdog.SetContext("saturation_flood");
   {
     serve::RecommendServer flood_server(&registry, flood_config);
     phases.push_back(
         RunSaturationFlood(&flood_server, zipf, args, args.requests));
+    watchdog.ForceEvaluate();
     const serve::ServerStats flood = flood_server.Snapshot();
     std::printf("flood: %s\n", flood.Summary().c_str());
+  }
+  watchdog.Stop();
+
+  int telemetry_rc = 0;
+
+  // Alert gate, both directions: steady-state phases must be silent and
+  // the overload phase must be loud.
+  size_t quiet_phase_alerts = 0;
+  size_t flood_shed_alerts = 0;
+  for (const obs::AlertEvent& alert : watchdog.alerts()) {
+    std::printf("alert: %s\n", obs::AlertJsonLine(alert).c_str());
+    if (alert.context == "warmup" || alert.context == "capacity") {
+      ++quiet_phase_alerts;
+    }
+    if (alert.rule == "shed_spike" && alert.context == "saturation_flood") {
+      ++flood_shed_alerts;
+    }
+  }
+  if (quiet_phase_alerts > 0) {
+    std::fprintf(stderr,
+                 "watchdog gate FAILED: %zu alert(s) during warmup/capacity "
+                 "(want 0)\n",
+                 quiet_phase_alerts);
+    telemetry_rc = 1;
+  }
+  if (flood_shed_alerts == 0) {
+    std::fprintf(stderr, "watchdog gate FAILED: saturation_flood did not "
+                         "trip shed_spike\n");
+    telemetry_rc = 1;
+  }
+  if (telemetry_rc == 0) {
+    std::printf("watchdog gate ok: capacity alert-free, shed_spike fired "
+                "%zu time(s) under flood\n",
+                flood_shed_alerts);
+  }
+
+  if (profiling) {
+    if (const Status st = obs::StopProfiler(); !st.ok()) {
+      std::fprintf(stderr, "profiler stop: %s\n", st.ToString().c_str());
+    }
+    const obs::ProfileReport report = obs::CollectProfile();
+    if (const Status st =
+            WriteFileAtomic(args.profile_out, obs::CollapsedStacks(report));
+        !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.profile_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (const Status st = WriteFileAtomic(args.profile_out + ".json",
+                                          obs::ProfileJson(report));
+        !st.ok()) {
+      std::fprintf(stderr, "cannot write %s.json: %s\n",
+                   args.profile_out.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile: %llu samples (%llu dropped), %zu distinct stacks "
+                "-> %s\n",
+                static_cast<unsigned long long>(report.samples),
+                static_cast<unsigned long long>(report.dropped),
+                report.stacks.size(), args.profile_out.c_str());
+    // Self-check: the serving hot path is the scoring sweep, so the top
+    // stacks of a saturating run must contain a scoring frame.
+    bool scoring_frame = false;
+    const size_t top = std::min<size_t>(report.stacks.size(), 10);
+    for (size_t s = 0; s < top && !scoring_frame; ++s) {
+      for (const std::string& frame : report.stacks[s].frames) {
+        if (frame.find("Score") != std::string::npos ||
+            frame.find("TopK") != std::string::npos ||
+            frame.find("RowDot") != std::string::npos ||
+            frame.find("Sweep") != std::string::npos ||
+            frame.find("Recommend") != std::string::npos ||
+            frame.find("kernel") != std::string::npos) {
+          scoring_frame = true;
+          break;
+        }
+      }
+    }
+    if (report.samples == 0 || !scoring_frame) {
+      std::fprintf(stderr, "profile gate FAILED: %s\n",
+                   report.samples == 0
+                       ? "no samples collected"
+                       : "no scoring frame in the top stacks");
+      telemetry_rc = 1;
+    }
+  }
+
+  if (tail_exemplar.valid()) {
+    std::printf("capacity p99 exemplar: trace %s, %.1fus\n",
+                obs::FormatTraceId(tail_exemplar.trace_id).c_str(),
+                tail_exemplar.value());
+  }
+  if (!args.trace_out.empty()) {
+    if (const Status st = obs::WriteTraceJson(args.trace_out); !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.trace_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    // Close the exemplar loop: the p99 exemplar's trace id must resolve
+    // to span events in the flushed trace. Strict only under --smoke,
+    // where the per-thread rings cannot have wrapped past the capacity
+    // phase; a full run may legitimately evict those spans.
+    std::string trace_content;
+    size_t num_events = 0;
+    std::set<std::string> span_names;
+    std::map<std::string, size_t> id_events;
+    Status st = ReadFile(args.trace_out, &trace_content);
+    if (st.ok()) {
+      st = obs::ValidateTraceJson(trace_content, &num_events, &span_names,
+                                  &id_events);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace %s: %s\n", args.trace_out.c_str(),
+                   st.ToString().c_str());
+      telemetry_rc = 1;
+    } else {
+      const auto it =
+          tail_exemplar.valid()
+              ? id_events.find(obs::FormatTraceId(tail_exemplar.trace_id))
+              : id_events.end();
+      if (it != id_events.end()) {
+        std::printf("exemplar gate ok: trace %s resolves to %zu span "
+                    "event(s) in %s\n",
+                    it->first.c_str(), it->second, args.trace_out.c_str());
+      } else if (args.smoke) {
+        std::fprintf(stderr, "exemplar gate FAILED: capacity p99 exemplar "
+                             "not found in the flushed trace\n");
+        telemetry_rc = 1;
+      } else {
+        std::printf("exemplar note: p99 exemplar spans evicted from the "
+                    "ring (full-length run)\n");
+      }
+    }
   }
 
   const PhaseResult& capacity = phases[0];
@@ -494,7 +739,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("[json written to %s]\n", args.json_path.c_str());
-  return 0;
+  return telemetry_rc;
 }
 
 }  // namespace

@@ -19,15 +19,28 @@ size_t Histogram::BucketIndex(double value) {
   return std::min(i, kNumBuckets - 1);
 }
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value, uint64_t exemplar_trace_id) {
   value = std::max(value, 0.0);
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  const size_t bucket = BucketIndex(value);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t milli = static_cast<uint64_t>(value * 1e3);
   sum_milli_.fetch_add(milli, std::memory_order_relaxed);
   uint64_t seen = max_milli_.load(std::memory_order_relaxed);
   while (milli > seen && !max_milli_.compare_exchange_weak(
                              seen, milli, std::memory_order_relaxed)) {
+  }
+  if (exemplar_trace_id != 0 &&
+      milli >= exemplar_value_milli_[bucket].load(std::memory_order_relaxed)) {
+    // Ties admit the newer sample: "worst *recent*", so a long-lived
+    // histogram still points at a request whose spans survive the trace
+    // ring. Re-check under the lock — another thread may have published a
+    // worse sample since the relaxed gate.
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    if (milli >= exemplar_value_milli_[bucket].load(std::memory_order_relaxed)) {
+      exemplar_value_milli_[bucket].store(milli, std::memory_order_relaxed);
+      exemplar_trace_id_[bucket] = exemplar_trace_id;
+    }
   }
 }
 
@@ -39,6 +52,14 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
   snapshot.count = count_.load(std::memory_order_relaxed);
   snapshot.sum_milli = sum_milli_.load(std::memory_order_relaxed);
   snapshot.max_milli = max_milli_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snapshot.exemplars[i] = {
+          exemplar_trace_id_[i],
+          exemplar_value_milli_[i].load(std::memory_order_relaxed)};
+    }
+  }
   return snapshot;
 }
 
@@ -47,6 +68,7 @@ Histogram::Snapshot Histogram::Snapshot::DeltaSince(
   Snapshot delta;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     delta.buckets[i] = buckets[i] - earlier.buckets[i];
+    if (delta.buckets[i] != 0) delta.exemplars[i] = exemplars[i];
   }
   delta.count = count - earlier.count;
   delta.sum_milli = sum_milli - earlier.sum_milli;
@@ -103,6 +125,49 @@ void Histogram::Merge(const Histogram& other) {
          !max_milli_.compare_exchange_weak(seen, snapshot.max_milli,
                                            std::memory_order_relaxed)) {
   }
+  {
+    // Per bucket, the worse of the two exemplars wins (ties keep ours —
+    // no recency signal across histograms).
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      const Exemplar& theirs = snapshot.exemplars[i];
+      if (theirs.valid() &&
+          theirs.value_milli >
+              exemplar_value_milli_[i].load(std::memory_order_relaxed)) {
+        exemplar_value_milli_[i].store(theirs.value_milli,
+                                       std::memory_order_relaxed);
+        exemplar_trace_id_[i] = theirs.trace_id;
+      } else if (theirs.valid() && exemplar_trace_id_[i] == 0) {
+        exemplar_value_milli_[i].store(theirs.value_milli,
+                                       std::memory_order_relaxed);
+        exemplar_trace_id_[i] = theirs.trace_id;
+      }
+    }
+  }
+}
+
+Histogram::Exemplar Histogram::ExemplarNear(const Snapshot& snapshot,
+                                            double p) {
+  uint64_t total = 0;
+  for (const uint64_t c : snapshot.buckets) total += c;
+  if (total == 0) return {};
+  const double target = p * static_cast<double>(total);
+  size_t at = kNumBuckets - 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += snapshot.buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      at = i;
+      break;
+    }
+  }
+  for (size_t i = at; i < kNumBuckets; ++i) {
+    if (snapshot.exemplars[i].valid()) return snapshot.exemplars[i];
+  }
+  for (size_t i = at; i-- > 0;) {
+    if (snapshot.exemplars[i].valid()) return snapshot.exemplars[i];
+  }
+  return {};
 }
 
 void Histogram::Reset() {
@@ -110,6 +175,11 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_milli_.store(0, std::memory_order_relaxed);
   max_milli_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    exemplar_value_milli_[i].store(0, std::memory_order_relaxed);
+    exemplar_trace_id_[i] = 0;
+  }
 }
 
 }  // namespace dtrec::obs

@@ -50,6 +50,44 @@ std::string JsonNumber(double v) {
   return StrFormat("%.17g", v);
 }
 
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; dtrec's
+/// dot-separated names map onto that with '.' (and anything else exotic)
+/// folded to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(keep ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+/// HELP-line escaping per the text format: '\' → "\\", newline → "\n".
+std::string PromHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Prometheus, unlike JSON, has spellings for non-finite values.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return StrFormat("%.17g", v);
+}
+
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -120,6 +158,45 @@ std::string MetricsRegistry::DumpJson() const {
        << ", \"max\": " << JsonNumber(s.max_us) << "}";
   }
   os << "}}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    const std::string pn = PromName(name);
+    os << "# HELP " << pn << " " << PromHelpEscape(name) << "\n";
+    os << "# TYPE " << pn << " counter\n";
+    os << pn << " " << counter.Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string pn = PromName(name);
+    os << "# HELP " << pn << " " << PromHelpEscape(name) << "\n";
+    os << "# TYPE " << pn << " gauge\n";
+    os << pn << " " << PromNumber(gauge.Value()) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Snapshot snap = hist.TakeSnapshot();
+    const std::string pn = PromName(name);
+    os << "# HELP " << pn << " " << PromHelpEscape(name) << "\n";
+    os << "# TYPE " << pn << " histogram\n";
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (snap.buckets[i] != 0) last = i;
+    }
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= last && snap.count != 0; ++i) {
+      cum += snap.buckets[i];
+      os << pn << "_bucket{le=\""
+         << StrFormat("%.6g", Histogram::BucketUpperBound(i)) << "\"} "
+         << cum << "\n";
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    os << pn << "_sum " << PromNumber(static_cast<double>(snap.sum_milli) / 1e3)
+       << "\n";
+    os << pn << "_count " << snap.count << "\n";
+  }
   return os.str();
 }
 

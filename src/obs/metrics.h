@@ -61,6 +61,15 @@ class MetricsRegistry {
   ///    "histograms": {"name": {"count","mean","p50","p95","p99","max"}}}
   std::string DumpJson() const;
 
+  /// Prometheus text exposition (format 0.0.4). Metric names are
+  /// sanitized to [a-zA-Z0-9_:] (dots → underscores; a leading digit gets
+  /// a '_' prefix) and the original name is preserved in the HELP line
+  /// (with '\' and newline escaped per the format). Counters and gauges
+  /// are single samples; each histogram expands to cumulative
+  /// `_bucket{le="..."}` samples (trailing all-zero buckets elided), the
+  /// mandatory `le="+Inf"` bucket, and `_sum` / `_count`.
+  std::string DumpPrometheus() const;
+
   /// Zeroes every registered counter and histogram (gauges keep their
   /// last value). Registration is preserved: outstanding pointers remain
   /// valid.

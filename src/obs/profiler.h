@@ -1,0 +1,84 @@
+#ifndef DTREC_OBS_PROFILER_H_
+#define DTREC_OBS_PROFILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// SIGPROF sampling profiler: a process-wide ITIMER_PROF timer fires on
+// CPU time, and an async-signal-safe handler appends the interrupted
+// stack (raw return addresses via backtrace()) to a preallocated sample
+// array. Everything that is *not* signal-safe — symbolization (dladdr +
+// demangling), aggregation, formatting — happens at CollectProfile()
+// time, after the timer is disarmed.
+//
+// Signal-safety rules for the handler (the marked region in profiler.cc,
+// enforced by the `signal-unsafe-in-handler` lint rule):
+//   - no allocation (malloc/new/containers that may grow),
+//   - no locks (a mutex held by the interrupted thread deadlocks),
+//   - no stdio / iostreams (internal locks + buffering),
+//   - only errno save/restore, relaxed/release atomics on preallocated
+//     slots, and backtrace() — whose unwinder is warmed by a priming call
+//     in StartProfiler *before* the handler is installed (the first
+//     backtrace() call may lazily dlopen libgcc, which allocates).
+//
+// The profiler is compiled out under TSan/ASan builds (see the guard in
+// profiler.cc): sanitizer runtimes wrap signal delivery and unwinding,
+// and a handler that is clean under those interceptors is not worth the
+// complexity. ProfilerAvailable() reports false there and Start/Stop are
+// inert, so callers can attach unconditionally.
+
+namespace dtrec::obs {
+
+struct ProfilerOptions {
+  uint64_t interval_us = 2000;   ///< CPU time between SIGPROF samples
+  size_t max_samples = 1 << 14;  ///< sample capacity; overflow → dropped
+  size_t max_depth = 48;         ///< frames kept per sample (capped at 64)
+};
+
+/// False when the profiler is compiled out (sanitizer build) or the
+/// platform lacks SIGPROF/backtrace; StartProfiler then returns
+/// NotSupported and CollectProfile returns an empty report.
+bool ProfilerAvailable();
+
+/// Arms the SIGPROF handler and the ITIMER_PROF timer. One profiler per
+/// process; a second Start without a Stop is FailedPrecondition.
+Status StartProfiler(const ProfilerOptions& options = {});
+
+/// Disarms the timer and restores the previous SIGPROF disposition.
+/// Samples stay buffered for CollectProfile().
+Status StopProfiler();
+
+bool ProfilerRunning();
+
+struct ProfileStack {
+  std::vector<std::string> frames;  ///< outermost (root) first
+  uint64_t count = 0;               ///< samples that hit this exact stack
+};
+
+struct ProfileReport {
+  uint64_t interval_us = 0;
+  uint64_t samples = 0;  ///< samples aggregated into `stacks`
+  uint64_t dropped = 0;  ///< signals that found the sample array full
+  std::vector<ProfileStack> stacks;  ///< most frequent first
+};
+
+/// Symbolizes (dladdr + demangle; hex fallback for anonymous frames) and
+/// aggregates the buffered samples. Call after StopProfiler(). Profiled
+/// binaries should link with -rdynamic so dladdr can see their symbols.
+ProfileReport CollectProfile();
+
+/// Collapsed-stack text — one "root;caller;...;leaf count" line per
+/// distinct stack — directly loadable by flamegraph.pl / inferno / speedscope.
+std::string CollapsedStacks(const ProfileReport& report);
+
+/// {"schema": "dtrec-profile-v1", "interval_us": ..., "samples": ...,
+///  "dropped": ..., "stacks": [{"frames": ["root", ...], "count": n}, ...]}
+std::string ProfileJson(const ProfileReport& report);
+
+}  // namespace dtrec::obs
+
+#endif  // DTREC_OBS_PROFILER_H_

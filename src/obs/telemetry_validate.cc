@@ -136,12 +136,14 @@ std::vector<std::string> SplitNonEmptyLines(const std::string& s) {
 }  // namespace
 
 Status ValidateTraceJson(const std::string& content, size_t* num_events,
-                         std::set<std::string>* span_names) {
+                         std::set<std::string>* span_names,
+                         std::map<std::string, size_t>* trace_id_events) {
   JsonCursor cur{content};
   bool saw_events_array = false;
   size_t events = 0;
   std::string error;
   std::set<std::string> names;
+  std::map<std::string, size_t> id_events;
 
   cur.ParseObject([&](const std::string& key) {
     if (key != "traceEvents") {
@@ -175,6 +177,14 @@ Status ValidateTraceJson(const std::string& content, size_t* num_events,
         } else if (ek == "tid") {
           cur.ParseNumber();
           has_tid = true;
+        } else if (ek == "args") {
+          cur.ParseObject([&](const std::string& ak) {
+            if (ak == "trace_id") {
+              ++id_events[cur.ParseString()];
+            } else {
+              cur.SkipValue();
+            }
+          });
         } else {
           cur.SkipValue();
         }
@@ -213,6 +223,175 @@ Status ValidateTraceJson(const std::string& content, size_t* num_events,
   if (!error.empty()) return Status::InvalidArgument(error);
   if (num_events != nullptr) *num_events = events;
   if (span_names != nullptr) *span_names = names;
+  if (trace_id_events != nullptr) *trace_id_events = id_events;
+  return Status::OK();
+}
+
+Status ValidateAlertsJsonl(const std::string& content, size_t* num_records,
+                           std::set<std::string>* rule_names,
+                           std::set<std::string>* contexts) {
+  const std::vector<std::string> lines = SplitNonEmptyLines(content);
+  std::set<std::string> rules;
+  std::set<std::string> ctxs;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    JsonCursor cur{lines[ln]};
+    std::string schema, rule, expr, direction, context;
+    bool saw_context = false, has_baseline = false;
+    bool has_value = false, has_threshold = false, has_window = false,
+         has_at = false;
+
+    cur.ParseObject([&](const std::string& key) {
+      if (key == "schema") {
+        schema = cur.ParseString();
+      } else if (key == "rule") {
+        rule = cur.ParseString();
+      } else if (key == "expr") {
+        expr = cur.ParseString();
+      } else if (key == "context") {
+        context = cur.ParseString();
+        saw_context = true;
+      } else if (key == "direction") {
+        direction = cur.ParseString();
+      } else if (key == "value") {
+        cur.ParseNumber();
+        has_value = true;
+      } else if (key == "threshold") {
+        cur.ParseNumber();
+        has_threshold = true;
+      } else if (key == "window_s") {
+        has_window = cur.ParseNumber() > 0.0;
+      } else if (key == "at_s") {
+        cur.ParseNumber();
+        has_at = true;
+      } else if (key == "baseline") {
+        cur.SkipValue();  // number or null, both fine
+        has_baseline = true;
+      } else {
+        cur.SkipValue();
+      }
+    });
+
+    const std::string where = "line " + std::to_string(ln + 1);
+    if (!cur.ok || !cur.AtEnd()) {
+      return Status::InvalidArgument(where + ": malformed alert record");
+    }
+    if (schema != "dtrec-alerts-v1") {
+      return Status::InvalidArgument(where + ": schema tag is '" + schema +
+                                     "', expected 'dtrec-alerts-v1'");
+    }
+    if (rule.empty() || expr.empty()) {
+      return Status::InvalidArgument(where + ": missing rule or expr");
+    }
+    if (direction != "above" && direction != "below") {
+      return Status::InvalidArgument(
+          where + ": direction must be 'above' or 'below'");
+    }
+    if (!has_value || !has_threshold || !has_window || !has_at) {
+      return Status::InvalidArgument(
+          where + ": needs numeric value/threshold, positive window_s, "
+                  "and at_s");
+    }
+    if (!saw_context || !has_baseline) {
+      return Status::InvalidArgument(where +
+                                     ": needs context and baseline keys");
+    }
+    rules.insert(rule);
+    ctxs.insert(context);
+  }
+  if (num_records != nullptr) *num_records = lines.size();
+  if (rule_names != nullptr) *rule_names = rules;
+  if (contexts != nullptr) *contexts = ctxs;
+  return Status::OK();
+}
+
+Status ValidateProfileJson(const std::string& content, size_t* num_samples,
+                           std::set<std::string>* frame_names) {
+  JsonCursor cur{content};
+  std::string schema;
+  bool has_interval = false, has_samples = false, has_dropped = false;
+  bool saw_stacks = false;
+  double samples = 0.0;
+  size_t stack_index = 0;
+  std::set<std::string> frames_seen;
+  std::string error;
+
+  cur.ParseObject([&](const std::string& key) {
+    if (key == "schema") {
+      schema = cur.ParseString();
+    } else if (key == "interval_us") {
+      has_interval = cur.ParseNumber() >= 0.0;
+    } else if (key == "samples") {
+      samples = cur.ParseNumber();
+      has_samples = samples >= 0.0;
+    } else if (key == "dropped") {
+      has_dropped = cur.ParseNumber() >= 0.0;
+    } else if (key == "stacks") {
+      saw_stacks = true;
+      if (!cur.Eat('[')) return;
+      if (cur.Peek(']')) {
+        cur.Eat(']');
+        return;
+      }
+      while (cur.ok) {
+        size_t num_frames = 0;
+        bool frames_ok = true;
+        double count = 0.0;
+        cur.ParseObject([&](const std::string& sk) {
+          if (sk == "frames") {
+            if (!cur.Eat('[')) return;
+            if (cur.Peek(']')) {
+              cur.Eat(']');
+              return;
+            }
+            while (cur.ok) {
+              const std::string frame = cur.ParseString();
+              if (frame.empty()) frames_ok = false;
+              frames_seen.insert(frame);
+              ++num_frames;
+              if (cur.Peek(',')) {
+                cur.Eat(',');
+                continue;
+              }
+              cur.Eat(']');
+              return;
+            }
+          } else if (sk == "count") {
+            count = cur.ParseNumber();
+          } else {
+            cur.SkipValue();
+          }
+        });
+        if (error.empty() && !(num_frames > 0 && frames_ok && count >= 1.0)) {
+          error = "stacks[" + std::to_string(stack_index) +
+                  "] needs non-empty string frames and count >= 1";
+        }
+        ++stack_index;
+        if (cur.Peek(',')) {
+          cur.Eat(',');
+          continue;
+        }
+        cur.Eat(']');
+        return;
+      }
+    } else {
+      cur.SkipValue();
+    }
+  });
+
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("malformed profile JSON");
+  }
+  if (schema != "dtrec-profile-v1") {
+    return Status::InvalidArgument("schema tag is '" + schema +
+                                   "', expected 'dtrec-profile-v1'");
+  }
+  if (!has_interval || !has_samples || !has_dropped || !saw_stacks) {
+    return Status::InvalidArgument(
+        "profile JSON needs interval_us/samples/dropped and a stacks array");
+  }
+  if (!error.empty()) return Status::InvalidArgument(error);
+  if (num_samples != nullptr) *num_samples = static_cast<size_t>(samples);
+  if (frame_names != nullptr) *frame_names = frames_seen;
   return Status::OK();
 }
 
@@ -483,6 +662,160 @@ Status ValidateServingBenchJson(const std::string& content,
   if (!error.empty()) return Status::InvalidArgument(error);
   if (!saw_summary) return Status::InvalidArgument("missing summary object");
   if (gate != nullptr) *gate = parsed;
+  return Status::OK();
+}
+
+namespace {
+
+/// Serving rows: per-phase closed-loop throughput (requests / elapsed_s,
+/// higher better) and p99 (lower better), plus the summary's per-core SLO
+/// throughput.
+void ExtractServingRows(JsonCursor* cur, std::vector<BenchDiffRow>* rows) {
+  cur->ParseObject([&](const std::string& key) {
+    if (key == "phases") {
+      if (!cur->Eat('[')) return;
+      if (cur->Peek(']')) {
+        cur->Eat(']');
+        return;
+      }
+      while (cur->ok) {
+        std::string name;
+        double requests = 0.0, elapsed = 0.0, p99 = -1.0;
+        cur->ParseObject([&](const std::string& pk) {
+          if (pk == "phase") {
+            name = cur->ParseString();
+          } else if (pk == "requests") {
+            requests = cur->ParseNumber();
+          } else if (pk == "elapsed_s") {
+            elapsed = cur->ParseNumber();
+          } else if (pk == "p99_us") {
+            p99 = cur->ParseNumber();
+          } else {
+            cur->SkipValue();
+          }
+        });
+        if (!name.empty() && elapsed > 0.0) {
+          rows->push_back(
+              {name + ".requests_per_sec", requests / elapsed, true});
+        }
+        if (!name.empty() && p99 >= 0.0) {
+          rows->push_back({name + ".p99_us", p99, false});
+        }
+        if (cur->Peek(',')) {
+          cur->Eat(',');
+          continue;
+        }
+        cur->Eat(']');
+        return;
+      }
+    } else if (key == "summary") {
+      cur->ParseObject([&](const std::string& sk) {
+        if (sk == "per_core_users_per_sec_at_slo") {
+          rows->push_back(
+              {"summary.per_core_users_per_sec_at_slo", cur->ParseNumber(),
+               true});
+        } else {
+          cur->SkipValue();
+        }
+      });
+    } else {
+      cur->SkipValue();
+    }
+  });
+}
+
+/// Kernel rows: gflops per kernel/variant/shape (higher better); rows
+/// without a positive gflops (the recall sweeps) fall back to ns_per_op
+/// (lower better).
+void ExtractKernelRows(JsonCursor* cur, std::vector<BenchDiffRow>* rows) {
+  cur->ParseObject([&](const std::string& key) {
+    if (key != "results") {
+      cur->SkipValue();
+      return;
+    }
+    if (!cur->Eat('[')) return;
+    if (cur->Peek(']')) {
+      cur->Eat(']');
+      return;
+    }
+    while (cur->ok) {
+      std::string kernel, variant;
+      double m = 0.0, k = 0.0, n = 0.0, gflops = 0.0, ns_per_op = 0.0;
+      cur->ParseObject([&](const std::string& rk) {
+        if (rk == "kernel") {
+          kernel = cur->ParseString();
+        } else if (rk == "variant") {
+          variant = cur->ParseString();
+        } else if (rk == "m") {
+          m = cur->ParseNumber();
+        } else if (rk == "k") {
+          k = cur->ParseNumber();
+        } else if (rk == "n") {
+          n = cur->ParseNumber();
+        } else if (rk == "gflops") {
+          gflops = cur->ParseNumber();
+        } else if (rk == "ns_per_op") {
+          ns_per_op = cur->ParseNumber();
+        } else {
+          cur->SkipValue();
+        }
+      });
+      if (!kernel.empty()) {
+        const std::string shape = std::to_string(static_cast<long long>(m)) +
+                                  "x" +
+                                  std::to_string(static_cast<long long>(k)) +
+                                  "x" +
+                                  std::to_string(static_cast<long long>(n));
+        const std::string base = kernel + "/" + variant + "/" + shape;
+        if (gflops > 0.0) {
+          rows->push_back({base + ".gflops", gflops, true});
+        } else if (ns_per_op > 0.0) {
+          rows->push_back({base + ".ns_per_op", ns_per_op, false});
+        }
+      }
+      if (cur->Peek(',')) {
+        cur->Eat(',');
+        continue;
+      }
+      cur->Eat(']');
+      return;
+    }
+  });
+}
+
+}  // namespace
+
+Status ExtractBenchRows(const std::string& content, std::string* schema,
+                        std::vector<BenchDiffRow>* rows) {
+  // First pass: just the schema tag.
+  std::string tag;
+  {
+    JsonCursor cur{content};
+    cur.ParseObject([&](const std::string& key) {
+      if (key == "schema") {
+        tag = cur.ParseString();
+      } else {
+        cur.SkipValue();
+      }
+    });
+    if (!cur.ok || !cur.AtEnd()) {
+      return Status::InvalidArgument("malformed bench JSON");
+    }
+  }
+  rows->clear();
+  JsonCursor cur{content};
+  if (tag == "dtrec-bench-serving-v1") {
+    ExtractServingRows(&cur, rows);
+  } else if (tag == "dtrec-bench-kernels-v2") {
+    ExtractKernelRows(&cur, rows);
+  } else {
+    return Status::InvalidArgument("unsupported bench schema '" + tag + "'");
+  }
+  if (!cur.ok) return Status::InvalidArgument("malformed bench JSON");
+  if (rows->empty()) {
+    return Status::InvalidArgument("bench JSON has no comparable rows");
+  }
+  if (schema != nullptr) *schema = tag;
   return Status::OK();
 }
 

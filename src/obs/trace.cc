@@ -14,6 +14,7 @@ namespace dtrec::obs {
 
 namespace internal {
 std::atomic<bool> g_tracing_enabled{false};
+thread_local bool t_trace_suppressed = false;
 }  // namespace internal
 
 namespace {
@@ -22,7 +23,10 @@ struct TraceEvent {
   const char* name = nullptr;
   uint64_t begin_ns = 0;
   uint64_t duration_ns = 0;
+  uint64_t trace_id = 0;  ///< 0 = recorded outside any TraceContext
 };
+
+thread_local uint64_t t_current_trace_id = 0;
 
 /// Bounds memory per thread; the ring keeps the newest spans (a stuck run
 /// is diagnosed from its tail, not its preamble).
@@ -78,18 +82,60 @@ uint64_t MonotonicNanos() {
 }
 
 void RecordSpan(const char* name, uint64_t begin_ns, uint64_t duration_ns) {
+  const uint64_t trace_id = t_current_trace_id;
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() < kMaxEventsPerThread) {
-    buffer.events.push_back({name, begin_ns, duration_ns});
+    buffer.events.push_back({name, begin_ns, duration_ns, trace_id});
   } else {
-    buffer.events[buffer.next] = {name, begin_ns, duration_ns};
+    buffer.events[buffer.next] = {name, begin_ns, duration_ns, trace_id};
     buffer.next = (buffer.next + 1) % kMaxEventsPerThread;
     ++buffer.dropped;
   }
 }
 
 }  // namespace internal
+
+uint64_t NewTraceId() {
+  // splitmix64 over a process-wide counter: ids are unique, well mixed
+  // (nearby requests land in distant buckets of any hash) and reproducible
+  // run to run. The finalizer is a bijection on non-zero inputs' domain
+  // minus the single preimage of 0, which the +1 below can never hit at
+  // the first 2^64 - 1 ids — more than any process records.
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z == 0 ? 1 : z;
+}
+
+uint64_t CurrentTraceId() {
+  return internal::t_trace_suppressed ? 0 : t_current_trace_id;
+}
+
+std::string FormatTraceId(uint64_t id) {
+  return StrFormat("0x%016llx", static_cast<unsigned long long>(id));
+}
+
+void TraceNote(const char* name) {
+  if (!TracingEnabled()) return;
+  internal::RecordSpan(name, internal::MonotonicNanos(), 0);
+}
+
+TraceContext::TraceContext(uint64_t id)
+    : id_(id), prev_(t_current_trace_id) {
+  t_current_trace_id = id_;
+}
+
+TraceContext::~TraceContext() { t_current_trace_id = prev_; }
+
+TraceSampleScope::TraceSampleScope(bool sampled)
+    : prev_(internal::t_trace_suppressed) {
+  internal::t_trace_suppressed = !sampled;
+}
+
+TraceSampleScope::~TraceSampleScope() { internal::t_trace_suppressed = prev_; }
 
 void EnableTracing() {
   internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
@@ -146,9 +192,14 @@ std::string FlushTraceJson() {
       first = false;
       event_stream << StrFormat(
           "{\"name\": \"%s\", \"cat\": \"dtrec\", \"ph\": \"X\", "
-          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
           e.name, static_cast<double>(e.begin_ns) / 1e3,
           static_cast<double>(e.duration_ns) / 1e3, buffer_tid);
+      if (e.trace_id != 0) {
+        event_stream << ", \"args\": {\"trace_id\": \""
+                     << FormatTraceId(e.trace_id) << "\"}";
+      }
+      event_stream << "}";
     }
   }
   os << "\"droppedEvents\": " << total_dropped << ", \"traceEvents\": [\n"

@@ -115,10 +115,15 @@ std::future<Recommendation> RecommendServer::Submit(
                       AdmissionController::Decision::kAdmit) {
     admitted = false;
   }
+  // The trace id is minted at the front door — before the admission
+  // verdict — so a shed request's annotation chain carries the same kind
+  // of identity as a served one.
+  const uint64_t trace_id = obs::NewTraceId();
   if (admitted) {
     auto task = std::make_shared<std::packaged_task<Recommendation()>>(
-        [this, request, submitted = Stopwatch()] {
-          return Handle(request, submitted.ElapsedMicros());
+        [this, request, trace_id, submitted = Stopwatch()] {
+          return Handle(request, submitted.ElapsedMicros(),
+                        DegradeReason::kNone, trace_id);
         });
     std::future<Recommendation> future = task->get_future();
     if (pool_.Submit([task] { (*task)(); })) return future;
@@ -129,8 +134,9 @@ std::future<Recommendation> RecommendServer::Submit(
   // Shed on the caller's thread: O(1), empty slate, future already
   // resolved. Overload costs a refusal per excess request instead of an
   // ever-longer queue of doomed scoring passes.
-  std::packaged_task<Recommendation()> shed_task([this, &request] {
-    return Handle(request, /*waited_us=*/0.0, DegradeReason::kQueueShed);
+  std::packaged_task<Recommendation()> shed_task([this, &request, trace_id] {
+    return Handle(request, /*waited_us=*/0.0, DegradeReason::kQueueShed,
+                  trace_id);
   });
   std::future<Recommendation> future = shed_task.get_future();
   shed_task();
@@ -142,8 +148,22 @@ Recommendation RecommendServer::Recommend(const RecommendRequest& request) {
 }
 
 Recommendation RecommendServer::Handle(const RecommendRequest& request,
-                                       double waited_us,
-                                       DegradeReason forced) {
+                                       double waited_us, DegradeReason forced,
+                                       uint64_t trace_id) {
+  // Request-scoped identity: every span recorded below (and the
+  // histogram exemplars at the bottom) carries this id, so a tail bucket
+  // in the latency histogram resolves to this request's span tree in the
+  // flushed trace.
+  const obs::TraceContext trace(trace_id != 0 ? trace_id : obs::NewTraceId());
+  // Head-sampling: only every trace_sample_every-th request records spans
+  // and exemplar identity — the rest keep their minted id but pay two
+  // thread-local writes instead of per-span clock reads, which is what
+  // keeps armed tracing within the §5k overhead budget at capacity.
+  const size_t sample_every = config_.trace_sample_every;
+  const obs::TraceSampleScope sample(
+      sample_every <= 1 ||
+      trace_tick_.fetch_add(1, std::memory_order_relaxed) % sample_every ==
+          0);
   DTREC_TRACE_SPAN("serve_handle");
   const Stopwatch handle_watch;
   Recommendation response;
@@ -190,9 +210,13 @@ Recommendation RecommendServer::Handle(const RecommendRequest& request,
   response.total_us = waited_us + handle_watch.ElapsedMicros();
 
   CountResponse(response);
-  queue_hist_->Record(response.queue_us);
-  score_hist_->Record(response.score_us);
-  total_hist_->Record(response.total_us);
+  // CurrentTraceId() (not trace.id()): it reads 0 for a sampled-out
+  // request, so every exemplar that lands in a bucket names a trace id
+  // whose span tree actually exists in the flushed trace.
+  const uint64_t exemplar_id = obs::CurrentTraceId();
+  queue_hist_->Record(response.queue_us, exemplar_id);
+  score_hist_->Record(response.score_us, exemplar_id);
+  total_hist_->Record(response.total_us, exemplar_id);
   retry_budget_.RecordRequest();
   return response;
 }
@@ -209,6 +233,7 @@ void RecommendServer::ScoreLadder(const ServingModel& model, size_t user,
   // the lookup and (on a miss that reaches a fresh slate) the fill.
   // `cache_pending` tracks an Allow() not yet concluded by a Record*().
   bool cache_pending = cache_breaker_.Allow();
+  if (!cache_pending) obs::TraceNote("breaker_cache_open");
   if (cache_pending) {
     std::vector<ScoredItem> slate;
     if (scorer_.CachedSlate(generation, user, k, &slate)) {
@@ -226,7 +251,10 @@ void RecommendServer::ScoreLadder(const ServingModel& model, size_t user,
   bool scored = false;
   std::vector<ScoredItem> slate;
   for (int attempt = 0; attempt < 2 && !scored; ++attempt) {
-    if (!scorer_breaker_.Allow()) break;
+    if (!scorer_breaker_.Allow()) {
+      obs::TraceNote("breaker_scorer_open");
+      break;
+    }
     try {
       slate = scorer_.ScoreFresh(model, user, k);
       scored = true;
@@ -284,18 +312,26 @@ void RecommendServer::PopularitySlate(const ServingModel& model, size_t k,
 
 void RecommendServer::CountResponse(const Recommendation& response) {
   requests_->Increment();
+  // The rung/reason annotations land as zero-duration spans under the
+  // request's TraceContext (CountResponse runs inside Handle), so the
+  // exemplar a histogram hands back resolves to a span tree that *names*
+  // the ladder outcome, not just its timings.
   switch (response.rung) {
     case ServeRung::kFullTopK:
       rung_full_->Increment();
+      obs::TraceNote("rung_full");
       break;
     case ServeRung::kCachedSlate:
       rung_cached_->Increment();
+      obs::TraceNote("rung_cached");
       break;
     case ServeRung::kPopularity:
       rung_popularity_->Increment();
+      obs::TraceNote("rung_popularity");
       break;
     case ServeRung::kShed:
       rung_shed_->Increment();
+      obs::TraceNote("rung_shed");
       break;
   }
   switch (response.reason) {
@@ -303,12 +339,15 @@ void RecommendServer::CountResponse(const Recommendation& response) {
       break;
     case DegradeReason::kDeadlineMiss:
       deadline_miss_->Increment();
+      obs::TraceNote("degrade_deadline_miss");
       break;
     case DegradeReason::kQueueShed:
       queue_shed_->Increment();
+      obs::TraceNote("degrade_queue_shed");
       break;
     case DegradeReason::kBreakerOpen:
       breaker_open_->Increment();
+      obs::TraceNote("degrade_breaker_open");
       break;
   }
 }

@@ -65,6 +65,13 @@ struct ServerConfig {
   /// Period of the background stats-dump thread logging Snapshot().
   /// Summary() through DTREC_LOG(INFO). 0 disables the thread.
   double stats_dump_period_s = 0.0;
+  /// Head-sampling period for request tracing: every Nth Handle() records
+  /// its span tree and may plant histogram exemplars; the rest run under a
+  /// suppressing obs::TraceSampleScope, which keeps armed tracing near
+  /// the DTREC_TRACING=OFF cost on the hot path (measured in DESIGN.md
+  /// §5k). Sampled-out requests still mint a trace id (identity in logs /
+  /// responses) — they just record nothing. 0 or 1 traces every request.
+  size_t trace_sample_every = 16;
 };
 
 struct RecommendRequest {
@@ -158,8 +165,12 @@ class RecommendServer {
   /// `waited_us` is the time the request spent queued before handling.
   /// `forced` != kNone short-circuits the ladder: kQueueShed answers with
   /// the empty shed slate (no scoring work for a request we refused).
+  /// `trace_id` is the request identity minted at Submit() (0 → mint one
+  /// here): installed as an obs::TraceContext so spans, rung/breaker
+  /// annotations and histogram exemplars all tie back to this request.
   Recommendation Handle(const RecommendRequest& request, double waited_us,
-                        DegradeReason forced = DegradeReason::kNone);
+                        DegradeReason forced = DegradeReason::kNone,
+                        uint64_t trace_id = 0);
 
   /// The scoring ladder: cached slate → fresh pass (breaker-guarded, one
   /// budgeted retry) → popularity. Fills `response` rung/reason/items.
@@ -198,6 +209,8 @@ class RecommendServer {
   obs::Histogram* const score_hist_;
   obs::Histogram* const total_hist_;
   std::atomic<uint64_t> seen_generation_{0};
+  /// Round-robin cursor for trace head-sampling (trace_sample_every).
+  std::atomic<uint64_t> trace_tick_{0};
 
   AdmissionController admission_;
   RetryBudget retry_budget_;

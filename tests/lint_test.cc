@@ -182,6 +182,133 @@ void Warn(const char* msg) {
             0u);
 }
 
+// ------------------------------------------------- signal-safe regions
+
+TEST(LintSignalSafeTest, BannedIdentifiersFlaggedInsideTheRegionOnly) {
+  const char* kHandler = R"FIX(
+void PrimeOutside() {
+  std::printf("allocating and printing out here is fine\n");
+}
+void Handler(int sig) {
+  // dtrec-signal-safe-region-begin
+  const int saved_errno = errno;
+  std::printf("sampling\n");
+  g_ring[g_cursor].store(1, std::memory_order_relaxed);
+  errno = saved_errno;
+  // dtrec-signal-safe-region-end
+}
+void FlushAfter() {
+  std::string symbolized = Demangle();
+}
+)FIX";
+  const auto findings = LintContent("src/obs/handler.cc", kHandler);
+  ASSERT_EQ(CountRule(findings, "signal-unsafe-in-handler"), 1u)
+      << FindingsToJson(findings);
+  for (const Finding& f : findings) {
+    if (f.rule != "signal-unsafe-in-handler") continue;
+    EXPECT_EQ(f.line, 8u);  // the printf inside the region
+    EXPECT_NE(f.message.find("printf"), std::string::npos);
+  }
+}
+
+TEST(LintSignalSafeTest, SafeVocabularyPasses) {
+  // errno, relaxed atomics on preallocated slots, backtrace(): the whole
+  // allowed surface of the profiler's handler.
+  const char* kClean = R"FIX(
+void Handler(int sig) {
+  // dtrec-signal-safe-region-begin
+  const int saved_errno = errno;
+  const size_t slot = g_state.cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot < g_state.max_samples) {
+    g_state.ring[slot].depth = backtrace(g_state.ring[slot].frames, 48);
+    g_state.ring[slot].ready.store(true, std::memory_order_release);
+  } else {
+    g_state.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  errno = saved_errno;
+  // dtrec-signal-safe-region-end
+}
+)FIX";
+  const auto findings = LintContent("src/obs/handler.cc", kClean);
+  EXPECT_EQ(CountRule(findings, "signal-unsafe-in-handler"), 0u)
+      << FindingsToJson(findings);
+}
+
+TEST(LintSignalSafeTest, EveryBannedCategoryIsCaught) {
+  // One representative per category: allocation, lock, stdio, container
+  // construction, symbolization.
+  const char* kDirty = R"FIX(
+void Handler(int sig) {
+  // dtrec-signal-safe-region-begin
+  void* p = malloc(8);
+  std::lock_guard<std::mutex> lock(g_mu);
+  fprintf(g_log, "tick\n");
+  std::vector<int> frames;
+  dladdr(p, &info);
+  // dtrec-signal-safe-region-end
+}
+)FIX";
+  const auto findings = LintContent("src/obs/handler.cc", kDirty);
+  // lock_guard + mutex count separately on their shared line.
+  EXPECT_GE(CountRule(findings, "signal-unsafe-in-handler"), 5u)
+      << FindingsToJson(findings);
+}
+
+TEST(LintSignalSafeTest, UnterminatedRegionIsItselfAFinding) {
+  const char* kOpenEnded =
+      "void Handler(int sig) {\n"
+      "  // dtrec-signal-safe-region-begin\n"
+      "  errno = 0;\n"
+      "}\n";
+  const auto findings = LintContent("src/obs/handler.cc", kOpenEnded);
+  ASSERT_EQ(CountRule(findings, "signal-unsafe-in-handler"), 1u);
+  EXPECT_EQ(findings[0].line, 2u);  // anchored at the dangling begin
+  EXPECT_NE(findings[0].message.find("without a matching"),
+            std::string::npos);
+}
+
+TEST(LintSignalSafeTest, ProseMentionOfTheMarkerDoesNotOpenARegion) {
+  // Documentation (like lint.h's own rule table) talks about the marker
+  // without being one; only an exact standalone marker comment counts.
+  const char* kProse = R"FIX(
+// The dtrec-signal-safe-region-begin marker brackets handler code; see
+// lint.h. Everything below is ordinary code:
+void Flush() {
+  std::string s = "uses banned identifiers freely";
+  std::printf("%s\n", s.c_str());
+}
+)FIX";
+  const auto findings = LintContent("src/obs/doc.cc", kProse);
+  EXPECT_EQ(CountRule(findings, "signal-unsafe-in-handler"), 0u)
+      << FindingsToJson(findings);
+}
+
+TEST(LintSignalSafeTest, AllowCommentSuppresses) {
+  const char* kAllowed = R"FIX(
+void Handler(int sig) {
+  // dtrec-signal-safe-region-begin
+  // dtrec-lint: allow(signal-unsafe-in-handler)
+  debug_only_printf("%d\n", printf_arena);
+  errno = 0;
+  // dtrec-signal-safe-region-end
+}
+)FIX";
+  // (identifiers containing but not equal to banned names never match;
+  // this fixture's suppressed line uses a real banned name below)
+  const char* kAllowedReal =
+      "void Handler(int sig) {\n"
+      "  // dtrec-signal-safe-region-begin\n"
+      "  printf(\"x\");  // dtrec-lint: allow(signal-unsafe-in-handler)\n"
+      "  // dtrec-signal-safe-region-end\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintContent("src/obs/handler.cc", kAllowed),
+                      "signal-unsafe-in-handler"),
+            0u);
+  EXPECT_EQ(CountRule(LintContent("src/obs/handler.cc", kAllowedReal),
+                      "signal-unsafe-in-handler"),
+            0u);
+}
+
 // ------------------------------------------------------------- suppression
 
 TEST(LintSuppressionTest, TrailingAllowSilencesThatLine) {
@@ -379,7 +506,7 @@ TEST(LintReportTest, KnownRulesCoverEmittedRules) {
   for (const char* rule :
        {"propensity-division", "banned-rand", "naked-new", "include-guard",
         "include-hygiene", "float-literal", "raw-ofstream-write",
-        "raw-stderr-logging", "lint-usage"}) {
+        "raw-stderr-logging", "signal-unsafe-in-handler", "lint-usage"}) {
     EXPECT_NE(std::find(known.begin(), known.end(), rule), known.end())
         << rule;
   }

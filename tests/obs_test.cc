@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -12,6 +14,7 @@
 #include "obs/event_log.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/prop_stats.h"
 #include "obs/telemetry_validate.h"
 #include "obs/trace.h"
@@ -108,6 +111,83 @@ TEST(ObsHistogramTest, ConcurrentRecordersLoseNothing) {
 }
 
 // ---------------------------------------------------------------------------
+// Exemplars: per-bucket links from a latency bucket back to the trace id
+// of the worst recent sample that landed there.
+
+TEST(ObsExemplarTest, CapturedAndFoundNearTheTailPercentile) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  h.Record(5000.0, /*exemplar_trace_id=*/0xABCull);
+  const Histogram::Exemplar ex = Histogram::ExemplarNear(h.TakeSnapshot(),
+                                                         0.99);
+  ASSERT_TRUE(ex.valid());
+  EXPECT_EQ(ex.trace_id, 0xABCull);
+  EXPECT_NEAR(ex.value(), 5000.0, 1e-3);
+}
+
+TEST(ObsExemplarTest, EmptyOrIdLessSnapshotsHaveNoExemplar) {
+  Histogram h;
+  EXPECT_FALSE(Histogram::ExemplarNear(h.TakeSnapshot(), 0.99).valid());
+  h.Record(10.0);  // no trace id offered
+  EXPECT_FALSE(Histogram::ExemplarNear(h.TakeSnapshot(), 0.99).valid());
+}
+
+TEST(ObsExemplarTest, TiesAdmitTheNewerSampleWorseValuesDisplace) {
+  Histogram h;
+  h.Record(10.0, 0xAull);
+  h.Record(10.0, 0xBull);  // same bucket, same value: newer id wins
+  Histogram::Exemplar ex = Histogram::ExemplarNear(h.TakeSnapshot(), 0.5);
+  EXPECT_EQ(ex.trace_id, 0xBull);
+  h.Record(11.0, 0xCull);  // same bucket (10 and 11 share it), worse value
+  ex = Histogram::ExemplarNear(h.TakeSnapshot(), 0.5);
+  EXPECT_EQ(ex.trace_id, 0xCull);
+  // A smaller sample in the same bucket must not displace the maximum.
+  h.Record(10.0, 0xDull);
+  ex = Histogram::ExemplarNear(h.TakeSnapshot(), 0.5);
+  EXPECT_EQ(ex.trace_id, 0xCull);
+}
+
+TEST(ObsExemplarTest, DeltaSinceDropsExemplarsOfUntouchedBuckets) {
+  Histogram h;
+  h.Record(1000.0, 0xAAull);  // pre-window slow request
+  const Histogram::Snapshot before = h.TakeSnapshot();
+  h.Record(2.0, 0xBBull);  // the only sample inside the window
+  const Histogram::Snapshot delta = h.TakeSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.count, 1u);
+  // The stale 1000 µs exemplar is gone — its bucket did not move in the
+  // interval — so exactly one bucket carries an exemplar: 0xBB's.
+  size_t valid = 0;
+  for (const Histogram::Exemplar& e : delta.exemplars) {
+    if (e.valid()) {
+      ++valid;
+      EXPECT_EQ(e.trace_id, 0xBBull);
+    }
+  }
+  EXPECT_EQ(valid, 1u);
+  EXPECT_EQ(Histogram::ExemplarNear(delta, 0.999).trace_id, 0xBBull);
+}
+
+TEST(ObsExemplarTest, MergeKeepsTheWorsePerBucketAndFillsEmptySlots) {
+  Histogram a, b;
+  a.Record(10.0, 0xAull);
+  b.Record(11.0, 0xBull);   // same bucket as 10.0, worse value
+  b.Record(500.0, 0xCull);  // bucket a has never seen
+  a.Merge(b);
+  const Histogram::Snapshot snap = a.TakeSnapshot();
+  EXPECT_EQ(Histogram::ExemplarNear(snap, 0.2).trace_id, 0xBull);
+  EXPECT_EQ(Histogram::ExemplarNear(snap, 0.99).trace_id, 0xCull);
+  EXPECT_EQ(snap.count, 3u);
+}
+
+TEST(ObsExemplarTest, ResetClearsExemplars) {
+  Histogram h;
+  h.Record(10.0, 0xAull);
+  h.Reset();
+  h.Record(10.0);  // repopulate the bucket without an id
+  EXPECT_FALSE(Histogram::ExemplarNear(h.TakeSnapshot(), 0.5).valid());
+}
+
+// ---------------------------------------------------------------------------
 // Metrics registry
 
 TEST(ObsMetricsTest, CounterAndGaugeBasics) {
@@ -186,6 +266,63 @@ TEST(ObsMetricsTest, DumpTextListsEveryMetric) {
   EXPECT_NE(text.find("t.count"), std::string::npos);
   EXPECT_NE(text.find("t.gauge"), std::string::npos);
   EXPECT_NE(text.find("t.hist"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DumpPrometheusSanitizesNamesAndKeepsOriginalsInHelp) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Increment(7);
+  registry.GetCounter("9lives")->Increment(1);      // leading digit
+  registry.GetGauge("queue depth/now")->Set(2.5);   // space and slash
+  const std::string prom = registry.DumpPrometheus();
+  // Dots, spaces, slashes → underscores; a leading digit gets a prefix.
+  EXPECT_NE(prom.find("# TYPE serve_requests counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("serve_requests 7"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE _9lives counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE queue_depth_now gauge"), std::string::npos);
+  EXPECT_NE(prom.find("queue_depth_now 2.5"), std::string::npos);
+  // The HELP line preserves the original (unsanitized) name.
+  EXPECT_NE(prom.find("# HELP serve_requests serve.requests"),
+            std::string::npos);
+  // No un-sanitized sample names leak through.
+  EXPECT_EQ(prom.find("serve.requests 7"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DumpPrometheusEscapesHelpText) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("weird\\name")->Increment(1);
+  const std::string prom = registry.DumpPrometheus();
+  // '\' in the original name becomes "\\" on the HELP line, and the
+  // sample name itself is fully sanitized.
+  EXPECT_NE(prom.find("# HELP weird_name weird\\\\name"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("\nweird_name 1\n"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DumpPrometheusExpandsHistogramsCumulatively) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("lat.us");
+  h->Record(1.0);   // bucket 0 (le="1")
+  h->Record(10.0);  // a later bucket
+  const std::string prom = registry.DumpPrometheus();
+  EXPECT_NE(prom.find("# TYPE lat_us histogram"), std::string::npos) << prom;
+  // Cumulative buckets: the first bucket holds 1, +Inf holds the total.
+  EXPECT_NE(prom.find("lat_us_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_sum 11"), std::string::npos);
+  // Cumulative counts never decrease along the le= series.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  while ((pos = prom.find("lat_us_bucket{le=", pos)) != std::string::npos) {
+    const size_t space = prom.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t cum = std::stoull(prom.substr(space + 2));
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    pos = space;
+  }
+  EXPECT_EQ(prev, 2u);
 }
 
 TEST(ObsMetricsTest, ResetAllZeroesCountersAndHistogramsKeepsGauges) {
@@ -335,6 +472,187 @@ TEST(ObsTraceTest, WriteTraceJsonCommitsALoadableFile) {
   EXPECT_EQ(names.count("to_disk"), 1u);
   obs::ClearTrace();
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Request identity: trace ids threaded through spans and exemplars
+
+TEST(ObsTraceIdTest, NewTraceIdsAreNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = obs::NewTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  // Canonical rendering: 0x + 16 hex digits, zero-padded.
+  EXPECT_EQ(obs::FormatTraceId(0xABCull), "0x0000000000000abc");
+}
+
+TEST(ObsTraceIdTest, TraceContextInstallsAndRestoresNested) {
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  {
+    obs::TraceContext outer;
+    EXPECT_EQ(obs::CurrentTraceId(), outer.id());
+    {
+      obs::TraceContext inner(42);
+      EXPECT_EQ(obs::CurrentTraceId(), 42u);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), outer.id());
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+}
+
+TEST(ObsTraceIdTest, SpansRecordedInContextCarryTheIdInArgs) {
+  obs::ClearTrace();
+  obs::EnableTracing();
+  uint64_t id = 0;
+  {
+    obs::TraceContext ctx;
+    id = ctx.id();
+    obs::TraceSpan span("traced_stage");
+    obs::TraceNote("traced_note");
+  }
+  { obs::TraceSpan span("anonymous_stage"); }  // outside any context
+  obs::DisableTracing();
+  size_t events = 0;
+  std::set<std::string> names;
+  std::map<std::string, size_t> id_events;
+  const std::string json = obs::FlushTraceJson();
+  ASSERT_TRUE(obs::ValidateTraceJson(json, &events, &names, &id_events).ok())
+      << json;
+  EXPECT_EQ(events, 3u);
+  EXPECT_EQ(names.count("traced_note"), 1u);
+  // Both in-context events resolve to the request's id; the span recorded
+  // outside a context carries none.
+  EXPECT_EQ(id_events[obs::FormatTraceId(id)], 2u);
+  size_t tagged = 0;
+  for (const auto& [key, n] : id_events) tagged += n;
+  EXPECT_EQ(tagged, 2u);
+  obs::ClearTrace();
+}
+
+TEST(ObsTraceIdTest, SampleScopeSuppressesRecordingAndExemplarIdentity) {
+  obs::ClearTrace();
+  obs::EnableTracing();
+  obs::TraceContext ctx(0xABCu);
+  {
+    // Sampled-out: no spans, no notes, and no exemplar identity — the
+    // histogram must not capture an id whose span tree was never recorded.
+    obs::TraceSampleScope out(false);
+    EXPECT_FALSE(obs::TracingEnabled());
+    EXPECT_EQ(obs::CurrentTraceId(), 0u);
+    obs::TraceNote("suppressed_note");
+    { obs::TraceSpan span("suppressed_stage"); }
+    {
+      // A nested sampled scope re-arms (each scope is its own verdict).
+      obs::TraceSampleScope in(true);
+      EXPECT_TRUE(obs::TracingEnabled());
+      EXPECT_EQ(obs::CurrentTraceId(), 0xABCu);
+      obs::TraceNote("nested_sampled_note");
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  }
+  // Scope exit restores the default (record everything) verdict.
+  EXPECT_TRUE(obs::TracingEnabled());
+  EXPECT_EQ(obs::CurrentTraceId(), 0xABCu);
+  obs::TraceNote("kept_note");
+  obs::DisableTracing();
+
+  size_t events = 0;
+  std::set<std::string> names;
+  std::map<std::string, size_t> id_events;
+  const std::string json = obs::FlushTraceJson();
+  ASSERT_TRUE(obs::ValidateTraceJson(json, &events, &names, &id_events).ok())
+      << json;
+  EXPECT_EQ(events, 2u);
+  EXPECT_EQ(names.count("kept_note"), 1u);
+  EXPECT_EQ(names.count("nested_sampled_note"), 1u);
+  EXPECT_EQ(names.count("suppressed_note"), 0u);
+  EXPECT_EQ(names.count("suppressed_stage"), 0u);
+  EXPECT_EQ(id_events[obs::FormatTraceId(0xABCu)], 2u);
+  obs::ClearTrace();
+}
+
+TEST(ObsTraceIdTest, RingWraparoundKeepsJsonWellFormed) {
+  // Overflow one thread's ring (64Ki events) and make sure the flush is
+  // still valid Chrome JSON that reports the overwritten events as
+  // dropped instead of truncating mid-array.
+  obs::ClearTrace();
+  obs::EnableTracing();
+  constexpr size_t kRing = size_t{1} << 16;
+  constexpr size_t kOverflow = 1000;
+  obs::TraceContext ctx;
+  for (size_t i = 0; i < kRing + kOverflow; ++i) {
+    obs::TraceNote("wrap_note");
+  }
+  obs::DisableTracing();
+  const std::string json = obs::FlushTraceJson();
+  size_t events = 0;
+  std::set<std::string> names;
+  std::map<std::string, size_t> id_events;
+  const Status st = obs::ValidateTraceJson(json, &events, &names, &id_events);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(events, kRing);  // ring capacity, newest kept
+  EXPECT_EQ(names.count("wrap_note"), 1u);
+  // Survivors still resolve to the request id even after wraparound.
+  EXPECT_EQ(id_events[obs::FormatTraceId(ctx.id())], kRing);
+  const size_t dropped_pos = json.find("\"droppedEvents\": ");
+  ASSERT_NE(dropped_pos, std::string::npos);
+  EXPECT_EQ(std::stoull(json.substr(
+                dropped_pos + std::string("\"droppedEvents\": ").size())),
+            kOverflow);
+  obs::ClearTrace();
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler (compiled out under sanitizers; the availability flag
+// is the contract either way)
+
+TEST(ObsProfilerTest, StartStopCollectRoundTripWhenAvailable) {
+  if (!obs::ProfilerAvailable()) {
+    // Sanitized build: Start must decline politely, not crash.
+    EXPECT_FALSE(obs::StartProfiler().ok());
+    EXPECT_FALSE(obs::ProfilerRunning());
+    const obs::ProfileReport empty = obs::CollectProfile();
+    EXPECT_EQ(empty.samples, 0u);
+    return;
+  }
+  obs::ProfilerOptions options;
+  options.interval_us = 500;
+  ASSERT_TRUE(obs::StartProfiler(options).ok());
+  EXPECT_TRUE(obs::ProfilerRunning());
+  EXPECT_FALSE(obs::StartProfiler(options).ok());  // one per process
+  // Burn CPU so ITIMER_PROF actually fires a few times.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 50'000'000 && sink < 1e18; ++i) {
+    sink += static_cast<double>(i) * 1.000001;
+  }
+  ASSERT_TRUE(obs::StopProfiler().ok());
+  EXPECT_FALSE(obs::ProfilerRunning());
+  const obs::ProfileReport report = obs::CollectProfile();
+  EXPECT_EQ(report.interval_us, 500u);
+  EXPECT_GT(report.samples, 0u);
+  ASSERT_FALSE(report.stacks.empty());
+  // Most-frequent-first ordering and a parsable JSON rendering.
+  for (size_t i = 1; i < report.stacks.size(); ++i) {
+    EXPECT_GE(report.stacks[i - 1].count, report.stacks[i].count);
+  }
+  const std::string json = obs::ProfileJson(report);
+  size_t samples = 0;
+  std::set<std::string> frames;
+  const Status st = obs::ValidateProfileJson(json, &samples, &frames);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n" << json;
+  EXPECT_EQ(samples, report.samples);
+  EXPECT_FALSE(frames.empty());
+  // Collapsed output: one "frame;frame;... count" line per non-empty
+  // stack, flamegraph.pl-loadable.
+  const std::string collapsed = obs::CollapsedStacks(report);
+  EXPECT_FALSE(collapsed.empty());
+  const size_t lines = static_cast<size_t>(
+      std::count(collapsed.begin(), collapsed.end(), '\n'));
+  EXPECT_GE(lines, 1u);
+  EXPECT_LE(lines, report.stacks.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "core/checkpoint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "obs/telemetry_validate.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
@@ -619,6 +621,46 @@ TEST(RecommendServerTest, ServesExactSlatesConcurrently) {
   EXPECT_EQ(stats.total_us.count, 300u);
   EXPECT_GT(stats.total_us.p99_us, 0.0);
 }
+
+#if defined(DTREC_TRACING_ENABLED)
+TEST(RecommendServerTest, TraceHeadSamplingRecordsEveryNthRequest) {
+  ModelRegistry registry;
+  registry.Publish(RandomModel(10, 50, 8, 17));
+
+  obs::MetricsRegistry metrics;
+  ServerConfig config = TestConfig(1);
+  config.metrics = &metrics;
+  config.trace_sample_every = 2;
+  RecommendServer server(&registry, config);
+
+  obs::ClearTrace();
+  obs::EnableTracing();
+  for (size_t r = 0; r < 6; ++r) {
+    server.Recommend({.user = r % 10, .k = 5});  // sync: sampling is the
+  }                                              // server's, not the pool's
+  obs::DisableTracing();
+
+  size_t events = 0;
+  std::set<std::string> names;
+  std::map<std::string, size_t> id_events;
+  const std::string json = obs::FlushTraceJson();
+  ASSERT_TRUE(obs::ValidateTraceJson(json, &events, &names, &id_events).ok())
+      << json;
+  // Ticks 0, 2, 4 sample — exactly 3 of 6 requests leave span trees, and
+  // each sampled request's events all resolve to its minted id
+  // (serve_handle + serve_score + the rung annotation note).
+  EXPECT_EQ(id_events.size(), 3u);
+  EXPECT_EQ(names.count("serve_handle"), 1u);
+  EXPECT_EQ(names.count("serve_score"), 1u);
+  size_t tagged = 0;
+  for (const auto& [id, n] : id_events) {
+    EXPECT_GE(n, 3u) << id;
+    tagged += n;
+  }
+  EXPECT_EQ(tagged, events);  // nothing recorded outside a sampled request
+  obs::ClearTrace();
+}
+#endif  // DTREC_TRACING_ENABLED
 
 TEST(RecommendServerTest, ZeroDeadlineDegradesDeterministically) {
   ModelRegistry registry;

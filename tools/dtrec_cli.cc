@@ -6,11 +6,16 @@
 //   dtrec_cli diagnose <prefix>
 //   dtrec_cli train <method> <prefix> [--resume <dir>]
 //                   [--checkpoint-every <n>] [--metrics-out <path>]
-//                   [--trace-out <path>] [--events-out <path>] [key=value...]
+//                   [--trace-out <path>] [--events-out <path>]
+//                   [--profile-out <path>] [--alerts-out <path>]
+//                   [--watch-rules <path>] [key=value...]
 //   dtrec_cli compare <prefix> <method1,method2,...> [key=value...]
 //   dtrec_cli validate [--trace <path>] [--events <path>]
 //                      [--metrics <path>] [--serving-bench <path>]
+//                      [--alerts <path>] [--profile <path>]
 //                      [--require-spans <csv>] [--require-losses <csv>]
+//                      [--require-alerts <csv>]
+//   dtrec_cli bench-diff <old.json> <new.json> [--threshold <pct>]
 //   dtrec_cli methods
 //
 // Recognized key=value pairs: seed, scale, epochs, dim, batch_size, lr,
@@ -20,8 +25,17 @@
 // and writes a Chrome trace_event JSON loadable in chrome://tracing or
 // Perfetto; `--events-out` streams one dtrec-train-events-v1 JSONL record
 // per epoch; `--metrics-out` dumps the global metrics registry as JSON.
-// `validate` structurally checks artifacts produced by those flags and
-// exits nonzero if any file is malformed or misses a required span/loss.
+// `--profile-out` attaches the SIGPROF sampling profiler across Fit() and
+// writes collapsed stacks there plus a dtrec-profile-v1 JSON at
+// <path>.json. `--alerts-out` runs the telemetry watchdog during training
+// and streams dtrec-alerts-v1 JSONL; rules come from `--watch-rules
+// <path>` (see obs/watchdog.h for the grammar) or default to a
+// propensity-clip-rate drift rule — the paper's failure mode surfacing as
+// an alert, not a post-hoc diff. `validate` structurally checks artifacts
+// produced by those flags and exits nonzero if any file is malformed or
+// misses a required span/loss/alert. `bench-diff` compares two bench
+// JSONs of the same schema row by row and exits nonzero when any metric
+// regresses past the threshold (default 25%).
 //
 // `--resume <dir>` makes training crash-safe: a checkpoint is committed
 // atomically into <dir> every `--checkpoint-every` epochs (default 1),
@@ -38,8 +52,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "data/io.h"
@@ -48,8 +64,10 @@
 #include "experiments/evaluator.h"
 #include "experiments/runner.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry_validate.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "synth/coat_like.h"
 #include "synth/kuairec_like.h"
 #include "synth/movielens_like.h"
@@ -76,7 +94,17 @@ struct TrainFlags {
   std::string metrics_out;  ///< metrics-registry JSON dump path
   std::string trace_out;    ///< Chrome trace_event JSON path (arms tracing)
   std::string events_out;   ///< per-epoch JSONL event stream path
+  std::string profile_out;  ///< collapsed-stack path (+ <path>.json report)
+  std::string alerts_out;   ///< dtrec-alerts-v1 JSONL path (arms watchdog)
+  std::string watch_rules;  ///< watchdog rules file; "" → default rules
 };
+
+/// Watchdog rules used by `train --alerts-out` when no --watch-rules file
+/// is given: the propensity-clip rate drifting away from its own trailing
+/// baseline is the propensity-identification failure mode showing up live.
+constexpr const char* kDefaultTrainWatchRules =
+    "clip_drift: drift:rate:propensity.clip.fired/propensity.clip.total, "
+    "0.5, 0.05, above\n";
 
 TrainFlags ExtractTrainFlags(int* argc, char** argv, int start) {
   TrainFlags flags;
@@ -108,6 +136,12 @@ TrainFlags ExtractTrainFlags(int* argc, char** argv, int start) {
       flags.trace_out = value;
     } else if (take_value("--events-out", &value)) {
       flags.events_out = value;
+    } else if (take_value("--profile-out", &value)) {
+      flags.profile_out = value;
+    } else if (take_value("--alerts-out", &value)) {
+      flags.alerts_out = value;
+    } else if (take_value("--watch-rules", &value)) {
+      flags.watch_rules = value;
     } else {
       argv[out++] = argv[i];
     }
@@ -146,11 +180,16 @@ int Usage() {
       "  dtrec_cli diagnose <prefix>\n"
       "  dtrec_cli train <method> <prefix> [--resume <dir>]\n"
       "            [--checkpoint-every <n>] [--metrics-out <path>]\n"
-      "            [--trace-out <path>] [--events-out <path>] [k=v...]\n"
+      "            [--trace-out <path>] [--events-out <path>]\n"
+      "            [--profile-out <path>] [--alerts-out <path>]\n"
+      "            [--watch-rules <path>] [k=v...]\n"
       "  dtrec_cli compare <prefix> <m1,m2,...> [k=v...]\n"
       "  dtrec_cli validate [--trace <path>] [--events <path>]\n"
       "            [--metrics <path>] [--serving-bench <path>]\n"
+      "            [--alerts <path>] [--profile <path>]\n"
       "            [--require-spans <csv>] [--require-losses <csv>]\n"
+      "            [--require-alerts <csv>]\n"
+      "  dtrec_cli bench-diff <old.json> <new.json> [--threshold <pct>]\n"
       "  dtrec_cli methods\n");
   return 2;
 }
@@ -234,6 +273,38 @@ int RunTrain(int argc, char** argv) {
   options.resume = !flags.resume_dir.empty();
   options.events_path = flags.events_out;
   if (!flags.trace_out.empty()) obs::EnableTracing();
+
+  bool profiling = false;
+  if (!flags.profile_out.empty()) {
+    if (const Status st = obs::StartProfiler(); st.ok()) {
+      profiling = true;
+    } else {
+      std::fprintf(stderr, "profiler not attached: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (!flags.alerts_out.empty() || !flags.watch_rules.empty()) {
+    std::string rules_text = kDefaultTrainWatchRules;
+    if (!flags.watch_rules.empty()) {
+      if (const Status st = ReadFile(flags.watch_rules, &rules_text);
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::vector<obs::WatchRule> rules;
+    if (const Status st = obs::ParseWatchdogRules(rules_text, &rules);
+        !st.ok()) {
+      return Fail(st);
+    }
+    obs::Watchdog::Options watch_options;
+    watch_options.alerts_path = flags.alerts_out;
+    watchdog = std::make_unique<obs::Watchdog>(
+        &obs::GlobalMetrics(), std::move(rules), watch_options);
+    watchdog->Poll();  // prime the windows before the first epoch
+    if (const Status st = watchdog->Start(0.5); !st.ok()) return Fail(st);
+  }
   if (!flags.resume_dir.empty()) {
     // Best-effort two-level mkdir -p; an unwritable dir still surfaces
     // as a Status from the first checkpoint save.
@@ -256,6 +327,33 @@ int RunTrain(int argc, char** argv) {
     return kExitInterrupted;
   }
   if (!st.ok()) return Fail(st);
+  if (watchdog != nullptr) {
+    // One deterministic final pass so a drift in the last epoch is not
+    // lost to the periodic thread's timing, then stop the thread.
+    watchdog->ForceEvaluate();
+    watchdog->Stop();
+    std::printf("watchdog: %zu alert(s)\n", watchdog->fired_count());
+  }
+  if (profiling) {
+    if (const Status prof_st = obs::StopProfiler(); !prof_st.ok()) {
+      std::fprintf(stderr, "profiler stop: %s\n",
+                   prof_st.ToString().c_str());
+    }
+    const obs::ProfileReport report = obs::CollectProfile();
+    if (const Status prof_st = WriteFileAtomic(
+            flags.profile_out, obs::CollapsedStacks(report));
+        !prof_st.ok()) {
+      return Fail(prof_st);
+    }
+    if (const Status prof_st = WriteFileAtomic(flags.profile_out + ".json",
+                                               obs::ProfileJson(report));
+        !prof_st.ok()) {
+      return Fail(prof_st);
+    }
+    std::printf("profile: %llu samples, %zu stacks -> %s\n",
+                static_cast<unsigned long long>(report.samples),
+                report.stacks.size(), flags.profile_out.c_str());
+  }
   const RankingMetrics metrics =
       EvaluateRanking(*trainer, dataset.value(), k);
   std::printf("%s: AUC=%.4f NDCG@%zu=%.4f Recall@%zu=%.4f (%zu params)\n",
@@ -279,7 +377,8 @@ int RunTrain(int argc, char** argv) {
 /// so a malformed trace/event stream fails the build, not a human reader.
 int RunValidate(int argc, char** argv) {
   std::string trace_path, events_path, metrics_path, serving_bench_path;
-  std::string require_spans, require_losses;
+  std::string alerts_path, profile_path;
+  std::string require_spans, require_losses, require_alerts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto take_value = [&](const std::string& name,
@@ -298,14 +397,18 @@ int RunValidate(int argc, char** argv) {
         !take_value("--events", &events_path) &&
         !take_value("--metrics", &metrics_path) &&
         !take_value("--serving-bench", &serving_bench_path) &&
+        !take_value("--alerts", &alerts_path) &&
+        !take_value("--profile", &profile_path) &&
         !take_value("--require-spans", &require_spans) &&
-        !take_value("--require-losses", &require_losses)) {
+        !take_value("--require-losses", &require_losses) &&
+        !take_value("--require-alerts", &require_alerts)) {
       std::fprintf(stderr, "validate: unknown argument '%s'\n", arg.c_str());
       return Usage();
     }
   }
   if (trace_path.empty() && events_path.empty() && metrics_path.empty() &&
-      serving_bench_path.empty()) {
+      serving_bench_path.empty() && alerts_path.empty() &&
+      profile_path.empty()) {
     std::fprintf(stderr, "validate: nothing to validate\n");
     return Usage();
   }
@@ -374,6 +477,42 @@ int RunValidate(int argc, char** argv) {
       std::printf("metrics ok\n");
     }
   }
+  if (!alerts_path.empty()) {
+    std::string content;
+    Status st = ReadFile(alerts_path, &content);
+    size_t num_records = 0;
+    std::set<std::string> rule_names, contexts;
+    if (st.ok()) {
+      st = obs::ValidateAlertsJsonl(content, &num_records, &rule_names,
+                                    &contexts);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: alerts %s: %s\n", alerts_path.c_str(),
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      ok = check_required(require_alerts, rule_names, "alert rule") && ok;
+      std::printf("alerts ok: %zu records, %zu rules, %zu contexts\n",
+                  num_records, rule_names.size(), contexts.size());
+    }
+  }
+  if (!profile_path.empty()) {
+    std::string content;
+    Status st = ReadFile(profile_path, &content);
+    size_t num_samples = 0;
+    std::set<std::string> frame_names;
+    if (st.ok()) {
+      st = obs::ValidateProfileJson(content, &num_samples, &frame_names);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "validate: profile %s: %s\n",
+                   profile_path.c_str(), st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("profile ok: %zu samples, %zu distinct frames\n",
+                  num_samples, frame_names.size());
+    }
+  }
   if (!serving_bench_path.empty()) {
     std::string content;
     Status st = ReadFile(serving_bench_path, &content);
@@ -390,6 +529,97 @@ int RunValidate(int argc, char** argv) {
     }
   }
   return ok ? 0 : 1;
+}
+
+/// `dtrec_cli bench-diff old.json new.json [--threshold <pct>]`: row-wise
+/// comparison of two bench JSONs of the same schema. Prints every row's
+/// delta and exits 1 when any metric regresses past the threshold
+/// (default 25% — wide enough to absorb container noise, tight enough to
+/// catch a real cliff). Rows present on only one side are reported but
+/// never fail the diff: new benches appearing is not a regression.
+int RunBenchDiff(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold_pct = 25.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::strtod(arg.c_str() + 12, nullptr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || threshold_pct <= 0.0) return Usage();
+
+  std::string old_schema, new_schema;
+  std::vector<obs::BenchDiffRow> old_rows, new_rows;
+  for (int side = 0; side < 2; ++side) {
+    std::string content;
+    if (Status st = ReadFile(paths[side], &content); !st.ok()) {
+      return Fail(st);
+    }
+    Status st = obs::ExtractBenchRows(content,
+                                      side == 0 ? &old_schema : &new_schema,
+                                      side == 0 ? &old_rows : &new_rows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench-diff: %s: %s\n", paths[side].c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (old_schema != new_schema) {
+    std::fprintf(stderr, "bench-diff: schema mismatch: %s vs %s\n",
+                 old_schema.c_str(), new_schema.c_str());
+    return 1;
+  }
+
+  std::map<std::string, obs::BenchDiffRow> old_by_name;
+  for (const obs::BenchDiffRow& row : old_rows) old_by_name[row.name] = row;
+  size_t regressions = 0, matched = 0;
+  for (const obs::BenchDiffRow& row : new_rows) {
+    const auto it = old_by_name.find(row.name);
+    if (it == old_by_name.end()) {
+      std::printf("%-48s %12s -> %12.4g  (new row)\n", row.name.c_str(),
+                  "-", row.value);
+      continue;
+    }
+    ++matched;
+    const obs::BenchDiffRow& old_row = it->second;
+    const double delta_pct =
+        old_row.value != 0.0
+            ? 100.0 * (row.value - old_row.value) / old_row.value
+            : 0.0;
+    // A regression is movement in the *bad* direction past the threshold:
+    // throughput down, or latency up.
+    const bool regressed = row.higher_is_better
+                               ? delta_pct < -threshold_pct
+                               : delta_pct > threshold_pct;
+    if (regressed) ++regressions;
+    std::printf("%-48s %12.4g -> %12.4g  %+7.1f%%%s\n", row.name.c_str(),
+                old_row.value, row.value, delta_pct,
+                regressed ? "  REGRESSION" : "");
+    old_by_name.erase(it);
+  }
+  for (const auto& [name, row] : old_by_name) {
+    std::printf("%-48s %12.4g -> %12s  (row removed)\n", name.c_str(),
+                row.value, "-");
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "bench-diff: no comparable rows between %s and "
+                         "%s\n",
+                 paths[0].c_str(), paths[1].c_str());
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench-diff: %zu row(s) regressed more than %.1f%%\n",
+                 regressions, threshold_pct);
+    return 1;
+  }
+  std::printf("bench-diff ok: %zu rows within %.1f%% (%s)\n", matched,
+              threshold_pct, old_schema.c_str());
+  return 0;
 }
 
 int RunCompare(int argc, char** argv) {
@@ -424,6 +654,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return RunTrain(argc, argv);
   if (command == "compare") return RunCompare(argc, argv);
   if (command == "validate") return RunValidate(argc, argv);
+  if (command == "bench-diff") return RunBenchDiff(argc, argv);
   if (command == "methods") {
     for (const std::string& name : AllMethodNames()) {
       std::printf("%s\n", name.c_str());

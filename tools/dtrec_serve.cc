@@ -25,16 +25,28 @@
 //   admit_rate=0      admission token-bucket rate per second (0 = off)
 //   admit_burst=0     admission token-bucket burst capacity
 //   admit_depth=0     admission queue-depth shed threshold (0 = off)
+//   metrics_format=json   --metrics-out format: json | text | prometheus
 //
 // flags (telemetry, see src/obs/):
-//   --metrics-out <path>   dump the metrics registry as JSON on exit
+//   --metrics-out <path>   dump the metrics registry on exit (format per
+//                          metrics_format=; prometheus is the text
+//                          exposition a scraper ingests directly)
 //   --trace-out <path>     arm DTREC_TRACE_SPAN recording and write a
 //                          Chrome trace_event JSON on exit
+//   --profile-out <path>   attach the SIGPROF sampling profiler for the
+//                          serve loop; collapsed stacks land at <path>,
+//                          the dtrec-profile-v1 JSON at <path>.json
+//   --alerts-out <path>    run the telemetry watchdog during the serve
+//                          loop, streaming dtrec-alerts-v1 JSONL
+//   --watch-rules <path>   watchdog rules file (obs/watchdog.h grammar);
+//                          default: shed-rate spike, scorer-breaker
+//                          transition storm, propensity-clip drift
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,7 +54,9 @@
 #include "core/dt_dr.h"
 #include "data/rating_dataset.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/model_registry.h"
 #include "serve/recommend_server.h"
 #include "synth/coat_like.h"
@@ -93,9 +107,19 @@ void AddStageRow(TableWriter* table, const std::string& stage,
                  FormatDouble(s.max_us, 1)});
 }
 
+/// Default watchdog rules for the serve loop: overload symptoms (shed
+/// spike, breaker-transition storm) plus the paper's propensity-clip
+/// drift, evaluated over half-second windows.
+constexpr const char* kDefaultServeWatchRules =
+    "shed_spike: rate:serve.rung_shed/serve.requests, 0.5, 0.25, above\n"
+    "breaker_storm: delta:serve.breaker.scorer.open_transitions, "
+    "0.5, 5, above\n"
+    "clip_drift: drift:rate:propensity.clip.fired/propensity.clip.total, "
+    "0.5, 0.05, above\n";
+
 int Main(int argc, char** argv) {
   ArgMap args;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, profile_out, alerts_out, watch_rules;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     // Telemetry flags first; everything else must be key=value.
@@ -112,20 +136,35 @@ int Main(int argc, char** argv) {
       return false;
     };
     if (take_value("--metrics-out", &metrics_out) ||
-        take_value("--trace-out", &trace_out)) {
+        take_value("--trace-out", &trace_out) ||
+        take_value("--profile-out", &profile_out) ||
+        take_value("--alerts-out", &alerts_out) ||
+        take_value("--watch-rules", &watch_rules)) {
       continue;
     }
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [--metrics-out <path>] [--trace-out <path>] "
-                   "[key=value ...]\n",
+                   "[--profile-out <path>] [--alerts-out <path>] "
+                   "[--watch-rules <path>] [key=value ...]\n",
                    argv[0]);
       return 2;
     }
     args[arg.substr(0, eq)] = arg.substr(eq + 1);
   }
   if (!trace_out.empty()) obs::EnableTracing();
+  const std::string metrics_format =
+      args.count("metrics_format") ? args.at("metrics_format") : "json";
+  if (metrics_format != "json" && metrics_format != "text" &&
+      metrics_format != "prometheus") {
+    std::fprintf(stderr,
+                 "error: metrics_format must be json, text or prometheus "
+                 "(got \"%s\")\n",
+                 metrics_format.c_str());
+    return 2;
+  }
+  args.erase("metrics_format");
 
   const size_t requests = static_cast<size_t>(GetNum(args, "requests", 2000));
   const size_t threads = static_cast<size_t>(GetNum(args, "threads", 4));
@@ -205,6 +244,37 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(GetNum(args, "admit_depth", 0));
   RecommendServer server(&registry, server_config);
 
+  bool profiling = false;
+  if (!profile_out.empty()) {
+    if (Status st = obs::StartProfiler(); st.ok()) {
+      profiling = true;
+    } else {
+      std::fprintf(stderr, "profiler not attached: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (!alerts_out.empty() || !watch_rules.empty()) {
+    std::string rules_text = kDefaultServeWatchRules;
+    if (!watch_rules.empty()) {
+      if (Status st = ReadFile(watch_rules, &rules_text); !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::vector<obs::WatchRule> rules;
+    if (Status st = obs::ParseWatchdogRules(rules_text, &rules); !st.ok()) {
+      return Fail(st);
+    }
+    obs::Watchdog::Options watch_options;
+    watch_options.alerts_path = alerts_out;
+    watchdog = std::make_unique<obs::Watchdog>(&obs::GlobalMetrics(),
+                                               std::move(rules),
+                                               watch_options);
+    watchdog->SetContext("serve");
+    watchdog->Poll();  // prime the windows before traffic starts
+    if (Status st = watchdog->Start(0.5); !st.ok()) return Fail(st);
+  }
+
   std::printf("serving %zu requests on %zu threads (k=%zu, deadline=%gms, "
               "cache=%zu users, topk=%s)...\n",
               requests, threads, k, deadline_ms, cache,
@@ -248,6 +318,32 @@ int Main(int argc, char** argv) {
   const double elapsed = serve_watch.ElapsedSeconds();
   const double qps = requests / elapsed;
 
+  if (watchdog != nullptr) {
+    watchdog->ForceEvaluate();
+    watchdog->Stop();
+    std::printf("watchdog: %zu alert(s) -> %s\n", watchdog->fired_count(),
+                alerts_out.empty() ? "(memory only)" : alerts_out.c_str());
+  }
+  if (profiling) {
+    if (Status st = obs::StopProfiler(); !st.ok()) {
+      std::fprintf(stderr, "profiler stop: %s\n", st.ToString().c_str());
+    }
+    const obs::ProfileReport report = obs::CollectProfile();
+    if (Status st = WriteFileAtomic(profile_out,
+                                    obs::CollapsedStacks(report));
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = WriteFileAtomic(profile_out + ".json",
+                                    obs::ProfileJson(report));
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("profile: %llu samples, %zu stacks -> %s\n",
+                static_cast<unsigned long long>(report.samples),
+                report.stacks.size(), profile_out.c_str());
+  }
+
   // --- report ----------------------------------------------------------
   const ServerStats stats = server.Snapshot();
   TableWriter table(StrFormat("dtrec_serve: %zu requests, %zu threads, "
@@ -269,12 +365,19 @@ int Main(int argc, char** argv) {
   }
   if (!metrics_out.empty()) {
     obs::PublishPropensityClipStats(&obs::GlobalMetrics());
-    if (Status st = WriteFileAtomic(metrics_out,
-                                    obs::GlobalMetrics().DumpJson());
-        !st.ok()) {
+    std::string dump;
+    if (metrics_format == "prometheus") {
+      dump = obs::GlobalMetrics().DumpPrometheus();
+    } else if (metrics_format == "text") {
+      dump = obs::GlobalMetrics().DumpText();
+    } else {
+      dump = obs::GlobalMetrics().DumpJson();
+    }
+    if (Status st = WriteFileAtomic(metrics_out, dump); !st.ok()) {
       return Fail(st);
     }
-    std::printf("wrote metrics -> %s\n", metrics_out.c_str());
+    std::printf("wrote metrics (%s) -> %s\n", metrics_format.c_str(),
+                metrics_out.c_str());
   }
 
   if (shed > 0) {

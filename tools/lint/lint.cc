@@ -339,6 +339,72 @@ void CheckFloatLiterals(const std::string& rel_path, const std::string& code,
   }
 }
 
+void CheckSignalSafeRegions(const std::string& rel_path,
+                            const std::vector<std::string>& comments,
+                            const std::vector<std::string>& code_lines,
+                            std::vector<Finding>* findings) {
+  // Anything on this list either allocates, takes a lock, or buffers
+  // through stdio — all deadlock/corruption hazards inside a signal
+  // handler. The safe vocabulary (errno, backtrace, relaxed atomics on
+  // preallocated slots) is deliberately NOT matched.
+  static const std::set<std::string> kSignalUnsafe = {
+      "malloc",        "calloc",      "realloc",     "free",
+      "new",           "delete",      "printf",      "fprintf",
+      "sprintf",       "snprintf",    "vsnprintf",   "vprintf",
+      "puts",          "fputs",       "fwrite",      "fopen",
+      "fclose",        "fflush",      "cout",        "cerr",
+      "clog",          "mutex",       "lock_guard",  "unique_lock",
+      "scoped_lock",   "shared_lock", "condition_variable",
+      "string",        "vector",      "deque",       "map",
+      "unordered_map", "make_shared", "make_unique", "backtrace_symbols",
+      "dladdr",        "getenv",      "exit"};
+  bool in_region = false;
+  size_t region_begin_line = 0;  // 1-based
+  for (size_t ln0 = 0; ln0 < comments.size(); ++ln0) {
+    // Markers must be standalone comments (`// dtrec-signal-safe-region-
+    // begin` on its own line) — prose that merely *mentions* a marker, like
+    // the rule's own documentation, must not open a region.
+    const std::string comment = Trim(comments[ln0]);
+    if (comment == "dtrec-signal-safe-region-begin") {
+      in_region = true;
+      region_begin_line = ln0 + 1;
+      continue;
+    }
+    if (comment == "dtrec-signal-safe-region-end") {
+      in_region = false;
+      continue;
+    }
+    if (!in_region || ln0 >= code_lines.size()) continue;
+    const std::string& line = code_lines[ln0];
+    const size_t n = line.size();
+    size_t i = 0;
+    while (i < n) {
+      if (!IsIdentStart(line[i])) {
+        ++i;
+        continue;
+      }
+      const size_t begin = i;
+      while (i < n && IsIdentChar(line[i])) ++i;
+      const std::string id = line.substr(begin, i - begin);
+      if (kSignalUnsafe.count(id)) {
+        findings->push_back(
+            {rel_path, ln0 + 1, "signal-unsafe-in-handler",
+             "'" + id +
+                 "' inside a dtrec-signal-safe region; signal handlers "
+                 "may only touch errno, relaxed atomics on preallocated "
+                 "slots, and backtrace()"});
+      }
+    }
+  }
+  if (in_region) {
+    findings->push_back(
+        {rel_path, region_begin_line, "signal-unsafe-in-handler",
+         "dtrec-signal-safe-region-begin without a matching "
+         "dtrec-signal-safe-region-end; the handler's extent must be "
+         "explicit for this rule to hold"});
+  }
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -438,6 +504,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   if (!kind.is_test && StartsWith(rel_path, "src/")) {
     CheckRawStderr(rel_path, code, starts, &raw);
   }
+  CheckSignalSafeRegions(rel_path, scrub.comments, code_lines, &raw);
 
   std::vector<Finding> findings;
   for (Finding& f : raw) {
@@ -499,9 +566,11 @@ std::string FindingsToJson(const std::vector<Finding>& findings) {
 
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
-      "propensity-division", "banned-rand",        "naked-new",
-      "include-guard",       "include-hygiene",    "float-literal",
-      "raw-ofstream-write",  "raw-stderr-logging", "lint-usage"};
+      "propensity-division",      "banned-rand",
+      "naked-new",                "include-guard",
+      "include-hygiene",          "float-literal",
+      "raw-ofstream-write",       "raw-stderr-logging",
+      "signal-unsafe-in-handler", "lint-usage"};
   return kRules;
 }
 

@@ -46,6 +46,18 @@
 //                        library reports through DTREC_LOG so severity,
 //                        formatting and fatal handling stay uniform; CLI
 //                        mains under tools/ may write stderr directly
+//   signal-unsafe-in-handler
+//                        inside a region bracketed by the
+//                        `dtrec-signal-safe-region-begin` / `-end` marker
+//                        comments (the profiler's SIGPROF handler), any
+//                        identifier that allocates, locks, or touches
+//                        stdio/iostreams is banned: malloc/free/new,
+//                        mutex/lock_guard, printf/cout, string/vector
+//                        construction, … — a signal handler that takes a
+//                        lock the interrupted thread holds deadlocks, and
+//                        one that allocates corrupts the heap. An opened
+//                        region with no matching end marker is itself a
+//                        finding.
 //
 // Known hazard with no textual rule (yet): size_t → uint32_t narrowing.
 // Serving stores item ids as uint32_t (ScoredItem::item, the sweep
